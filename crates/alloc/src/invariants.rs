@@ -1,0 +1,131 @@
+//! Allocation invariant checks shared by tests and debug assertions.
+
+use crate::ceil_request;
+
+/// Violations of the allocation contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// `allotments.len() != requests.len()`.
+    LengthMismatch,
+    /// Some job received more than it asked for (index).
+    NotConservative(usize),
+    /// The allotments exceed the machine capacity.
+    OverCapacity {
+        /// Sum of all allotments.
+        granted: u64,
+        /// Machine size.
+        capacity: u32,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::LengthMismatch => write!(f, "allotment vector length mismatch"),
+            Violation::NotConservative(i) => {
+                write!(f, "job {i} was granted more than it requested")
+            }
+            Violation::OverCapacity { granted, capacity } => {
+                write!(f, "granted {granted} processors on a {capacity}-processor machine")
+            }
+        }
+    }
+}
+
+/// Checks the universal allocator contract: lengths match, every
+/// allotment is conservative, and the total fits the machine.
+pub fn validate(requests: &[f64], allotments: &[u32], capacity: u32) -> Result<(), Violation> {
+    if requests.len() != allotments.len() {
+        return Err(Violation::LengthMismatch);
+    }
+    for (i, (&d, &a)) in requests.iter().zip(allotments).enumerate() {
+        if a > ceil_request(d) {
+            return Err(Violation::NotConservative(i));
+        }
+    }
+    let granted: u64 = allotments.iter().map(|&a| a as u64).sum();
+    if granted > capacity as u64 {
+        return Err(Violation::OverCapacity { granted, capacity });
+    }
+    Ok(())
+}
+
+/// Checks the *non-reserving* property: either every request is fully
+/// satisfied or the whole machine is in use.
+pub fn is_non_reserving(requests: &[f64], allotments: &[u32], capacity: u32) -> bool {
+    let granted: u64 = allotments.iter().map(|&a| a as u64).sum();
+    let demand: u64 = requests.iter().map(|&d| ceil_request(d) as u64).sum();
+    granted == demand.min(capacity as u64)
+}
+
+/// Checks the *fairness* property for equi-partition-style policies:
+/// any two jobs that did not receive their full request have allotments
+/// within one processor of each other (the slack absorbs integer
+/// rounding).
+pub fn is_fair(requests: &[f64], allotments: &[u32]) -> bool {
+    let deprived: Vec<u32> = requests
+        .iter()
+        .zip(allotments)
+        .filter(|(&d, &a)| a < ceil_request(d))
+        .map(|(_, &a)| a)
+        .collect();
+    match (deprived.iter().min(), deprived.iter().max()) {
+        (Some(&lo), Some(&hi)) => hi - lo <= 1,
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_good_allocation() {
+        assert_eq!(validate(&[2.0, 3.5], &[2, 4], 8), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_generous_allocation() {
+        assert_eq!(
+            validate(&[2.0, 3.5], &[3, 4], 8),
+            Err(Violation::NotConservative(0))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_over_capacity() {
+        assert_eq!(
+            validate(&[5.0, 5.0], &[5, 5], 8),
+            Err(Violation::OverCapacity { granted: 10, capacity: 8 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_length_mismatch() {
+        assert_eq!(validate(&[1.0], &[1, 1], 8), Err(Violation::LengthMismatch));
+    }
+
+    #[test]
+    fn non_reserving_detects_idle_processors() {
+        // Demand 10 on 8 processors but only 6 granted: reserving.
+        assert!(!is_non_reserving(&[5.0, 5.0], &[3, 3], 8));
+        assert!(is_non_reserving(&[5.0, 5.0], &[4, 4], 8));
+        // All demand met: trivially non-reserving.
+        assert!(is_non_reserving(&[2.0, 2.0], &[2, 2], 8));
+    }
+
+    #[test]
+    fn fairness_allows_rounding_slack() {
+        // Jobs 0 and 1 deprived with allotments 3 and 4: fair.
+        assert!(is_fair(&[10.0, 10.0, 1.0], &[3, 4, 1]));
+        // Allotments 2 and 4 while both deprived: unfair.
+        assert!(!is_fair(&[10.0, 10.0], &[2, 4]));
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = Violation::OverCapacity { granted: 9, capacity: 8 };
+        assert!(v.to_string().contains("9"));
+        assert!(v.to_string().contains("8"));
+    }
+}

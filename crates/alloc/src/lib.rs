@@ -1,0 +1,128 @@
+//! OS-level processor allocators for the ABG reproduction.
+//!
+//! In the two-level framework (Section 1), the *OS allocator* receives
+//! each job's processor request `d(q)` at every quantum boundary and
+//! decides the allotments `a(q)` under the system policy. The paper
+//! assumes the allocator is **conservative** — it never allots more than
+//! requested, so `a(q) = min{d(q), p(q)}` where `p(q)` is the
+//! availability under the policy — and its global results (Theorem 5)
+//! additionally require the allocator to be **fair** (equal shares unless
+//! a job asks for less) and **non-reserving** (no processor stays idle
+//! while some job wants more).
+//!
+//! [`DynamicEquiPartition`] (McCann, Vaswani, Zahorjan 1993) is the fair
+//! non-reserving policy used in the paper's multiprogrammed simulations;
+//! [`RoundRobin`], [`Proportional`] and the adversarial [`Scripted`]
+//! allocator provide contrasts and the trim-analysis adversary.
+//!
+//! Requests are real-valued (the controller output); allotments are
+//! integral. Allocators integerize a request as `ceil(d)` and the
+//! conservativeness invariant is `a_i ≤ ceil(d_i)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deq;
+pub mod invariants;
+pub mod proportional;
+pub mod round_robin;
+pub mod scripted;
+
+pub use deq::DynamicEquiPartition;
+pub use proportional::Proportional;
+pub use round_robin::RoundRobin;
+pub use scripted::Scripted;
+
+/// Integerizes a request: the smallest processor count that satisfies
+/// it, saturating into `0..=u32::MAX`.
+///
+/// # Panics
+///
+/// Panics on NaN or negative requests — a controller must never emit
+/// those.
+#[inline]
+pub fn ceil_request(d: f64) -> u32 {
+    assert!(!d.is_nan() && d >= 0.0, "invalid processor request {d}");
+    if d >= u32::MAX as f64 {
+        u32::MAX
+    } else {
+        d.ceil() as u32
+    }
+}
+
+/// A processor-allocation policy.
+///
+/// `allocate` is called once per quantum boundary with the standing
+/// requests of all live jobs (indexed consistently with the returned
+/// vector). Implementations must be conservative (`a_i ≤ ceil(d_i)`) and
+/// respect the machine capacity (`Σ a_i ≤ P`); [`invariants::validate`]
+/// checks both and is used in debug builds and tests.
+pub trait Allocator {
+    /// Computes the allotment of each job for the next quantum.
+    fn allocate(&mut self, requests: &[f64]) -> Vec<u32>;
+
+    /// The availability `p_i` of each job: the allotment the job would
+    /// have received had it requested the whole machine, holding the
+    /// other requests fixed. Satisfies `a_i = min(ceil(d_i), p_i)` when
+    /// queried **before** the corresponding `allocate` call — policies
+    /// with rotating tie-break state (DEQ, round-robin) answer for the
+    /// *next* allocation, so probe first, then allocate.
+    ///
+    /// The default implementation re-runs the policy once per job with
+    /// that job's request raised to the machine size, on a clone of the
+    /// policy state (leaving the real state untouched); stateful
+    /// policies may override with something cheaper.
+    fn availabilities(&mut self, requests: &[f64]) -> Vec<u32>
+    where
+        Self: Clone,
+    {
+        let p = self.total_processors() as f64;
+        let mut out = Vec::with_capacity(requests.len());
+        let mut probe = requests.to_vec();
+        for i in 0..requests.len() {
+            let saved = probe[i];
+            probe[i] = p;
+            // Clone so the probe does not advance stateful policies.
+            let alloc = self.clone().allocate(&probe);
+            out.push(alloc[i]);
+            probe[i] = saved;
+        }
+        out
+    }
+
+    /// Machine size `P`.
+    fn total_processors(&self) -> u32;
+
+    /// Short policy name for traces and reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_request_rounds_up() {
+        assert_eq!(ceil_request(0.0), 0);
+        assert_eq!(ceil_request(0.2), 1);
+        assert_eq!(ceil_request(3.0), 3);
+        assert_eq!(ceil_request(3.001), 4);
+    }
+
+    #[test]
+    fn ceil_request_saturates() {
+        assert_eq!(ceil_request(1e20), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid processor request")]
+    fn ceil_request_rejects_nan() {
+        let _ = ceil_request(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid processor request")]
+    fn ceil_request_rejects_negative() {
+        let _ = ceil_request(-1.0);
+    }
+}

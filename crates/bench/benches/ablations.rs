@@ -1,0 +1,51 @@
+//! Design-choice ablations as benchmarks: how the convergence rate, the
+//! quantum length and the job-model semantics move the *cost* of a
+//! simulated schedule. (The quality side of the same ablations — time
+//! and waste — is printed by `abg-cli ablate`.)
+
+use abg::experiments::{
+    quantum_ablation, rate_ablation, scheduler_ablation, semantics_ablation,
+};
+use abg_bench::ablation_config;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_rate(c: &mut Criterion) {
+    let cfg = ablation_config();
+    let mut g = c.benchmark_group("ablation_rate");
+    g.sample_size(10);
+    for rate in [0.0f64, 0.4, 0.8] {
+        g.bench_with_input(BenchmarkId::from_parameter(rate), &rate, |b, &r| {
+            b.iter(|| black_box(rate_ablation(black_box(&cfg), &[r])))
+        });
+    }
+    g.finish();
+}
+
+fn bench_quantum(c: &mut Criterion) {
+    let cfg = ablation_config();
+    let mut g = c.benchmark_group("ablation_quantum");
+    g.sample_size(10);
+    for l in [25u64, 100, 400] {
+        g.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            b.iter(|| black_box(quantum_ablation(black_box(&cfg), &[l])))
+        });
+    }
+    g.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    let cfg = ablation_config();
+    let mut g = c.benchmark_group("ablation_models");
+    g.sample_size(10);
+    g.bench_function("semantics_pipelined_vs_barrier", |b| {
+        b.iter(|| black_box(semantics_ablation(black_box(&cfg))))
+    });
+    g.bench_function("scheduler_priority_rules", |b| {
+        b.iter(|| black_box(scheduler_ablation(black_box(&cfg))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rate, bench_quantum, bench_models);
+criterion_main!(benches);

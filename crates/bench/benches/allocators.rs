@@ -1,0 +1,54 @@
+//! Allocator throughput: DEQ, round-robin and proportional-share across
+//! job counts, plus the availability probe used by traced runs.
+
+use abg_alloc::{Allocator, DynamicEquiPartition, Proportional, RoundRobin};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn requests(n: usize) -> Vec<f64> {
+    // Deterministic mixed workload: small, medium and greedy requesters.
+    (0..n)
+        .map(|i| match i % 4 {
+            0 => 1.0,
+            1 => 7.5,
+            2 => 31.0,
+            _ => 500.0,
+        })
+        .collect()
+}
+
+fn bench_allocate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocate");
+    for n in [4usize, 32, 128] {
+        let reqs = requests(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("deq", n), &reqs, |b, reqs| {
+            let mut alloc = DynamicEquiPartition::new(128);
+            b.iter(|| black_box(alloc.allocate(black_box(reqs))))
+        });
+        g.bench_with_input(BenchmarkId::new("round_robin", n), &reqs, |b, reqs| {
+            let mut alloc = RoundRobin::new(128);
+            b.iter(|| black_box(alloc.allocate(black_box(reqs))))
+        });
+        g.bench_with_input(BenchmarkId::new("proportional", n), &reqs, |b, reqs| {
+            let mut alloc = Proportional::new(128);
+            b.iter(|| black_box(alloc.allocate(black_box(reqs))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_availability_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("availability_probe");
+    for n in [4usize, 32] {
+        let reqs = requests(n);
+        g.bench_with_input(BenchmarkId::new("deq", n), &reqs, |b, reqs| {
+            let mut alloc = DynamicEquiPartition::new(128);
+            b.iter(|| black_box(alloc.availabilities(black_box(reqs))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_allocate, bench_availability_probe);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Request-calculator microbenches: the per-quantum cost of A-Control
+//! and A-Greedy feedback (it must be negligible against a quantum), and
+//! the closed-loop trajectory simulation used by the Theorem-1 grid.
+
+use abg_control::{AControl, AGreedy, ClosedLoop, RequestCalculator};
+use abg_sched::QuantumStats;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn stats_stream(n: usize) -> Vec<QuantumStats> {
+    (0..n)
+        .map(|i| {
+            let work = 100 + (i as u64 * 37) % 900;
+            QuantumStats {
+                allotment: 1 + (i as u32 % 64),
+                quantum_len: 100,
+                steps_worked: 100,
+                work,
+                span: 10.0 + (i % 7) as f64,
+                completed: false,
+            }
+        })
+        .collect()
+}
+
+fn bench_observe(c: &mut Criterion) {
+    const N: usize = 10_000;
+    let stream = stats_stream(N);
+    let mut g = c.benchmark_group("observe");
+    g.throughput(Throughput::Elements(N as u64));
+
+    g.bench_function("a_control", |b| {
+        b.iter(|| {
+            let mut ctl = AControl::new(0.2);
+            let mut last = 0.0;
+            for s in &stream {
+                last = ctl.observe(black_box(s));
+            }
+            black_box(last)
+        })
+    });
+
+    g.bench_function("a_greedy", |b| {
+        b.iter(|| {
+            let mut ctl = AGreedy::paper_default();
+            let mut last = 0.0;
+            for s in &stream {
+                last = ctl.observe(black_box(s));
+            }
+            black_box(last)
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_closed_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("closed_loop");
+    g.bench_function("trajectory_1k", |b| {
+        let loop_ = ClosedLoop::with_convergence_rate(64.0, 0.2);
+        b.iter(|| black_box(loop_.request_trajectory(1.0, 1_000)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_observe, bench_closed_loop);
+criterion_main!(benches);

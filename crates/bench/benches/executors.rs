@@ -1,0 +1,120 @@
+//! Executor throughput: the per-task executor against the two
+//! fast-forward executors on equivalent jobs, plus ready-queue
+//! microbenches. This quantifies the ablation "leveled/pipelined fast
+//! path vs explicit per-task simulation" from DESIGN.md.
+
+use abg_dag::{generate, LeveledJob, Phase, PhasedJob, TaskId};
+use abg_sched::{
+    BGreedyExecutor, JobExecutor, LeveledExecutor, PipelinedExecutor, ReadyQueue,
+};
+use abg_sched::queue::{BreadthFirstQueue, FifoQueue, LifoQueue};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Full execution of an 8-wide, 2000-level constant job at allotment 8.
+fn bench_executors(c: &mut Criterion) {
+    let width = 8u64;
+    let levels = 2_000u64;
+    let work = width * levels;
+
+    let mut g = c.benchmark_group("executor_full_job");
+    g.throughput(Throughput::Elements(work));
+
+    g.bench_function("per_task_bgreedy", |b| {
+        let dag = generate::chain_bundle(width as u32, levels as u32);
+        b.iter(|| {
+            let mut ex = BGreedyExecutor::new(black_box(&dag));
+            while !ex.is_complete() {
+                black_box(ex.run_quantum(8, 100));
+            }
+            ex.completed_work()
+        })
+    });
+
+    g.bench_function("leveled_fast_path", |b| {
+        let job = LeveledJob::constant(width, levels);
+        b.iter(|| {
+            let mut ex = LeveledExecutor::new(black_box(job.clone()));
+            while !ex.is_complete() {
+                black_box(ex.run_quantum(8, 100));
+            }
+            ex.completed_work()
+        })
+    });
+
+    g.bench_function("pipelined_fast_path", |b| {
+        let job = PhasedJob::constant(width, levels);
+        b.iter(|| {
+            let mut ex = PipelinedExecutor::new(black_box(job.clone()));
+            while !ex.is_complete() {
+                black_box(ex.run_quantum(8, 100));
+            }
+            ex.completed_work()
+        })
+    });
+
+    g.bench_function("work_stealing", |b| {
+        let dag = generate::chain_bundle(width as u32, levels as u32);
+        b.iter(|| {
+            let mut ex = abg_steal::StealExecutor::new(black_box(&dag), 7);
+            while !ex.is_complete() {
+                black_box(ex.run_quantum(8, 100));
+            }
+            ex.completed_work()
+        })
+    });
+
+    g.finish();
+}
+
+/// Quantum fast-forward cost as the number of phases grows.
+fn bench_pipelined_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipelined_quantum");
+    for phases in [4u64, 64, 1024] {
+        let job = PhasedJob::new(
+            (0..phases)
+                .map(|i| Phase::new(if i % 2 == 0 { 1 } else { 16 }, 8))
+                .collect(),
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(phases), &job, |b, job| {
+            b.iter(|| {
+                let mut ex = PipelinedExecutor::new(job.clone());
+                // One huge quantum sweeps every phase.
+                black_box(ex.run_quantum(16, u64::MAX))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ready-queue push/pop microbenches across the three priority rules.
+fn bench_queues(c: &mut Criterion) {
+    const N: u32 = 10_000;
+    let mut g = c.benchmark_group("ready_queue");
+    g.throughput(Throughput::Elements(N as u64));
+
+    fn drive<Q: ReadyQueue + Default>(n: u32) -> usize {
+        let mut q = Q::default();
+        let mut popped = 0;
+        for i in 0..n {
+            q.push(TaskId(i), i % 64);
+            if i % 3 == 0 {
+                popped += usize::from(q.pop().is_some());
+            }
+        }
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        popped
+    }
+
+    g.bench_function("breadth_first", |b| {
+        b.iter(|| black_box(drive::<BreadthFirstQueue>(N)))
+    });
+    g.bench_function("fifo", |b| b.iter(|| black_box(drive::<FifoQueue>(N))));
+    g.bench_function("lifo", |b| b.iter(|| black_box(drive::<LifoQueue>(N))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_executors, bench_pipelined_scaling, bench_queues);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! One benchmark per figure/analysis of the paper: times the full
+//! regeneration of each experiment at bench scale. The quality numbers
+//! themselves come from `abg-cli`; these benches track that the
+//! simulator stays fast enough to run the paper-scale sweeps.
+
+use abg::experiments::{
+    lemma2_check, multiprogrammed_sweep, single_job_sweep, theorem1_grid, theorem3_check,
+    theorem4_check, theorem5_check, transient_comparison,
+};
+use abg_bench::{fig5_config, fig6_config, transient_config};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(20);
+
+    let tcfg = transient_config();
+    g.bench_function("fig1_fig4_transient", |b| {
+        b.iter(|| black_box(transient_comparison(black_box(&tcfg))))
+    });
+
+    let f5 = fig5_config();
+    g.bench_function("fig5_single_job_sweep", |b| {
+        b.iter(|| black_box(single_job_sweep(black_box(&f5))))
+    });
+
+    let f6 = fig6_config();
+    g.bench_function("fig6_multiprogrammed_sweep", |b| {
+        b.iter(|| black_box(multiprogrammed_sweep(black_box(&f6))))
+    });
+
+    g.finish();
+}
+
+fn bench_theorems(c: &mut Criterion) {
+    let mut g = c.benchmark_group("theorems");
+    g.sample_size(20);
+
+    g.bench_function("thm1_control_metrics", |b| {
+        b.iter(|| {
+            black_box(theorem1_grid(
+                black_box(&[2.0, 16.0, 128.0]),
+                black_box(&[0.0, 0.2, 0.5]),
+                64,
+            ))
+        })
+    });
+
+    g.bench_function("lemma2_envelope", |b| {
+        b.iter(|| black_box(lemma2_check(4, 0.2, 50, 2, 64, 7)))
+    });
+
+    g.bench_function("thm3_trim_analysis", |b| {
+        b.iter(|| black_box(theorem3_check(5, 0.2, 50, 2, 64, 11)))
+    });
+
+    g.bench_function("thm4_waste_bound", |b| {
+        b.iter(|| black_box(theorem4_check(4, 0.2, 50, 2, 64, 13)))
+    });
+
+    g.bench_function("thm5_global_bounds", |b| {
+        b.iter(|| black_box(theorem5_check(1.0, 4, 0.2, 32, 2, 32, 17)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_theorems);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Shared fixtures for the Criterion benchmark suite.
+//!
+//! The benches live in `benches/`; this small library provides the
+//! configurations they share so figure benches, component microbenches
+//! and ablations all agree on sizes.
+
+#![forbid(unsafe_code)]
+
+use abg::experiments::{
+    AblationConfig, MultiprogrammedConfig, SingleJobSweepConfig, TransientConfig,
+};
+
+/// Transient-experiment config used by the figure benches (Figures 1/4).
+pub fn transient_config() -> TransientConfig {
+    TransientConfig {
+        parallelism: 10,
+        quantum_len: 100,
+        quanta: 8,
+        rate: 0.2,
+        responsiveness: 2.0,
+        utilization: 0.8,
+        processors: 128,
+    }
+}
+
+/// Figure-5 sweep at bench scale: a handful of factors and jobs so one
+/// Criterion iteration stays in the low-millisecond range.
+pub fn fig5_config() -> SingleJobSweepConfig {
+    SingleJobSweepConfig {
+        factors: vec![2, 10, 40],
+        jobs_per_factor: 4,
+        quantum_len: 100,
+        pairs: 2,
+        ..SingleJobSweepConfig::scaled()
+    }
+}
+
+/// Figure-6 sweep at bench scale.
+pub fn fig6_config() -> MultiprogrammedConfig {
+    MultiprogrammedConfig {
+        loads: vec![0.5, 2.0],
+        sets_per_load: 2,
+        processors: 32,
+        quantum_len: 50,
+        pairs: 2,
+        max_factor: 16,
+        ..MultiprogrammedConfig::scaled()
+    }
+}
+
+/// Ablation probe at bench scale.
+pub fn ablation_config() -> AblationConfig {
+    AblationConfig {
+        factors: vec![5, 20],
+        jobs_per_factor: 2,
+        processors: 64,
+        quantum_len: 50,
+        pairs: 2,
+        seed: 0xBE7C,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_small_enough_to_bench() {
+        assert!(fig5_config().factors.len() * fig5_config().jobs_per_factor as usize <= 16);
+        assert!(fig6_config().loads.len() * fig6_config().sets_per_load as usize <= 8);
+        assert_eq!(transient_config().quanta, 8);
+        assert!(ablation_config().jobs_per_factor <= 4);
+    }
+}

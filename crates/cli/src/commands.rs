@@ -1,0 +1,601 @@
+//! Subcommand implementations: each regenerates one figure or analysis
+//! and prints it through [`abg::report::Table`].
+
+use crate::options::Options;
+use abg::experiments::{
+    self, AblationConfig, AdaptiveQuantumConfig, AllocatorPolicyConfig, MultiprogrammedConfig,
+    OverheadConfig, RobustnessConfig, SingleJobSweepConfig, StealingConfig, TransientConfig,
+};
+use abg::report::{f3, mark, Chart, Table};
+use abg_sched::JobExecutor as _;
+
+/// Dispatches a subcommand.
+pub fn run(command: &str, opts: &Options) -> Result<(), String> {
+    match command {
+        "fig1" => fig1(opts),
+        "fig2" => fig2(opts),
+        "fig4" => fig4(opts),
+        "fig5" => fig5(opts),
+        "fig6" => fig6(opts),
+        "thm1" => thm1(opts),
+        "lemma2" => lemma2(opts),
+        "thm3" => thm3(opts),
+        "thm4" => thm4(opts),
+        "thm5" => thm5(opts),
+        "ablate" => ablate(opts)?,
+        "steal" => steal(opts),
+        "adaptive" => adaptive(opts),
+        "robustness" => robustness(opts),
+        "allocators" => allocators(opts),
+        "overhead" => overhead(opts),
+        "all" => all(opts),
+        other => return Err(format!("unknown command '{other}' (try --help)")),
+    }
+    Ok(())
+}
+
+fn emit(title: &str, table: &Table, opts: &Options) {
+    if opts.csv {
+        print!("{}", table.render_csv());
+    } else {
+        println!("== {title} ==");
+        print!("{}", table.render());
+        println!();
+    }
+}
+
+fn fig1(opts: &Options) {
+    let mut cfg = TransientConfig::paper();
+    cfg.quanta = 16; // the figure shows the sustained oscillation
+    let res = experiments::transient_comparison(&cfg);
+    let mut t = Table::new(&["quantum", "agreedy_request", "parallelism"]);
+    for p in &res.agreedy {
+        t.row_owned(vec![
+            p.quantum.to_string(),
+            f3(p.request),
+            res.parallelism.to_string(),
+        ]);
+    }
+    emit(
+        "Figure 1: request instability of A-Greedy (constant parallelism)",
+        &t,
+        opts,
+    );
+}
+
+fn fig2(_opts: &Options) {
+    // The worked example of Section 2: exact numbers, not a sweep.
+    let dag = abg_dag::generate::figure2_job();
+    let mut ex = abg_sched::BGreedyExecutor::new(&dag);
+    let warmup = ex.run_quantum(1, 2);
+    let q = ex.run_quantum(4, 3);
+    println!("== Figure 2: B-Greedy fractional quantum statistics ==");
+    println!("job: 1 source forking into 5 chains of 3 tasks (levels [1, 5, 5, 5])");
+    println!(
+        "warm-up quantum (a=1, 2 steps): T1 = {}, T∞ = {:.1}",
+        warmup.work, warmup.span
+    );
+    println!(
+        "measured quantum (a=4, 3 steps): T1(q) = {}, T∞(q) = {:.1}, A(q) = {:.0}",
+        q.work,
+        q.span,
+        q.average_parallelism().expect("work was done")
+    );
+    println!("paper's Figure 2 values:         T1(q) = 12, T∞(q) = 2.4, A(q) = 5");
+    println!();
+}
+
+fn fig4(opts: &Options) {
+    let cfg = TransientConfig::paper();
+    let res = experiments::transient_comparison(&cfg);
+    let mut t = Table::new(&["quantum", "abg_request", "agreedy_request", "parallelism"]);
+    for (a, g) in res.abg.iter().zip(&res.agreedy) {
+        t.row_owned(vec![
+            a.quantum.to_string(),
+            f3(a.request),
+            f3(g.request),
+            res.parallelism.to_string(),
+        ]);
+    }
+    emit(
+        "Figure 4: transient and steady-state behaviour (r = 0.2, ρ = 2)",
+        &t,
+        opts,
+    );
+    if opts.plot && !opts.csv {
+        let abg: Vec<f64> = res.abg.iter().map(|p| p.request).collect();
+        let agreedy: Vec<f64> = res.agreedy.iter().map(|p| p.request).collect();
+        let target = vec![res.parallelism as f64; abg.len()];
+        let mut c = Chart::new(10);
+        c.series("parallelism A", '-', &target)
+            .series("A-Greedy d(q)", '*', &agreedy)
+            .series("ABG d(q)", '#', &abg);
+        print!("{}", c.render());
+        println!();
+    }
+}
+
+fn fig5(opts: &Options) {
+    let mut cfg = if opts.full {
+        SingleJobSweepConfig::paper()
+    } else {
+        let mut c = SingleJobSweepConfig::scaled();
+        c.factors = vec![2, 5, 10, 20, 30, 40, 60, 80, 100];
+        c.jobs_per_factor = 16;
+        c.quantum_len = 200;
+        c
+    };
+    if let Some(seed) = opts.seed {
+        cfg.seed = seed;
+    }
+    let points = experiments::single_job_sweep(&cfg);
+    let mut t = Table::new(&[
+        "factor",
+        "measured_cl",
+        "abg_t/tinf",
+        "agreedy_t/tinf",
+        "abg_w/t1",
+        "agreedy_w/t1",
+        "time_ratio",
+        "waste_ratio",
+    ]);
+    for p in &points {
+        t.row_owned(vec![
+            p.factor.to_string(),
+            f3(p.measured_factor),
+            f3(p.abg_time_norm),
+            f3(p.agreedy_time_norm),
+            f3(p.abg_waste_norm),
+            f3(p.agreedy_waste_norm),
+            f3(p.time_ratio),
+            f3(p.waste_ratio),
+        ]);
+    }
+    emit(
+        "Figure 5: single-job running time and waste vs transition factor",
+        &t,
+        opts,
+    );
+    let n = points.len() as f64;
+    let tr: f64 = points.iter().map(|p| p.time_ratio).sum::<f64>() / n;
+    let wr: f64 = points.iter().map(|p| p.waste_ratio).sum::<f64>() / n;
+    if !opts.csv {
+        println!(
+            "mean A-Greedy/ABG ratios: time {:.3} (paper ≈ 1.2), waste {:.3} (paper ≈ 2)",
+            tr, wr
+        );
+        println!();
+    }
+    if opts.plot && !opts.csv {
+        let abg: Vec<f64> = points.iter().map(|p| p.abg_time_norm).collect();
+        let agreedy: Vec<f64> = points.iter().map(|p| p.agreedy_time_norm).collect();
+        let mut c = Chart::new(8);
+        c.series("A-Greedy T/T∞ per factor", '*', &agreedy)
+            .series("ABG T/T∞ per factor", '#', &abg);
+        print!("{}", c.render());
+        println!();
+    }
+}
+
+fn fig6(opts: &Options) {
+    let mut cfg = if opts.full {
+        MultiprogrammedConfig::paper()
+    } else {
+        let mut c = MultiprogrammedConfig::scaled();
+        c.loads = vec![0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0];
+        c.sets_per_load = 12;
+        c.processors = 128;
+        c.quantum_len = 200;
+        c.max_factor = 100;
+        c.pairs = 3;
+        c
+    };
+    if let Some(seed) = opts.seed {
+        cfg.seed = seed;
+    }
+    let points = experiments::multiprogrammed_sweep(&cfg);
+    let mut t = Table::new(&[
+        "load",
+        "jobs",
+        "abg_m/m*",
+        "agreedy_m/m*",
+        "abg_r/r*",
+        "agreedy_r/r*",
+        "makespan_ratio",
+        "response_ratio",
+    ]);
+    for p in &points {
+        t.row_owned(vec![
+            f3(p.measured_load),
+            f3(p.mean_jobs),
+            f3(p.abg_makespan_norm),
+            f3(p.agreedy_makespan_norm),
+            f3(p.abg_response_norm),
+            f3(p.agreedy_response_norm),
+            f3(p.makespan_ratio),
+            f3(p.response_ratio),
+        ]);
+    }
+    emit(
+        "Figure 6: multiprogrammed makespan and mean response time vs load",
+        &t,
+        opts,
+    );
+}
+
+fn thm1(opts: &Options) {
+    let rows = experiments::theorem1_grid(
+        &[2.0, 10.0, 32.0, 128.0],
+        &[0.0, 0.2, 0.4, 0.6, 0.8],
+        64,
+    );
+    let mut t = Table::new(&[
+        "parallelism",
+        "rate",
+        "pole",
+        "bibo",
+        "sse",
+        "overshoot",
+        "measured_rate",
+    ]);
+    for r in &rows {
+        t.row_owned(vec![
+            f3(r.parallelism),
+            f3(r.rate),
+            f3(r.pole),
+            mark(r.bibo_stable).to_string(),
+            format!("{:.2e}", r.steady_state_error),
+            format!("{:.2e}", r.max_overshoot),
+            f3(r.measured_rate),
+        ]);
+    }
+    emit(
+        "Theorem 1: BIBO stability, zero SSE, zero overshoot, convergence rate r",
+        &t,
+        opts,
+    );
+}
+
+fn seed_of(opts: &Options) -> u64 {
+    opts.seed.unwrap_or(2008)
+}
+
+fn lemma2(opts: &Options) {
+    let mut t = Table::new(&["factor", "rate", "check", "measured", "bound", "holds"]);
+    for &factor in &[2u64, 4, 8, 16] {
+        for &rate in &[0.05, 0.2] {
+            for c in experiments::lemma2_check(factor, rate, 200, 3, 128, seed_of(opts)) {
+                t.row_owned(vec![
+                    factor.to_string(),
+                    f3(rate),
+                    c.quantity.to_string(),
+                    f3(c.measured),
+                    f3(c.bound),
+                    mark(c.holds).to_string(),
+                ]);
+            }
+        }
+    }
+    emit("Lemma 2: request / parallelism envelope", &t, opts);
+}
+
+fn thm3(opts: &Options) {
+    let mut t = Table::new(&["factor", "rate", "measured_T", "bound", "holds"]);
+    for &factor in &[2u64, 5, 10, 20, 50] {
+        for &rate in &[0.0, 0.2, 0.5] {
+            let c = experiments::theorem3_check(factor, rate, 200, 3, 64, seed_of(opts));
+            t.row_owned(vec![
+                factor.to_string(),
+                f3(rate),
+                f3(c.measured),
+                f3(c.bound),
+                mark(c.holds).to_string(),
+            ]);
+        }
+    }
+    emit(
+        "Theorem 3: running time under adversarial availability (trim analysis)",
+        &t,
+        opts,
+    );
+}
+
+fn thm4(opts: &Options) {
+    let mut t = Table::new(&["factor", "rate", "measured_W", "bound", "holds"]);
+    for &factor in &[2u64, 3, 4, 8, 16] {
+        for &rate in &[0.05, 0.2] {
+            match experiments::theorem4_check(factor, rate, 200, 3, 128, seed_of(opts)) {
+                Some(c) => {
+                    t.row_owned(vec![
+                        factor.to_string(),
+                        f3(rate),
+                        f3(c.measured),
+                        f3(c.bound),
+                        mark(c.holds).to_string(),
+                    ]);
+                }
+                None => {
+                    t.row_owned(vec![
+                        factor.to_string(),
+                        f3(rate),
+                        "-".into(),
+                        "-".into(),
+                        "n/a (r ≥ 1/C_L)".into(),
+                    ]);
+                }
+            }
+        }
+    }
+    emit("Theorem 4: processor waste bound", &t, opts);
+}
+
+fn thm5(opts: &Options) {
+    let mut t = Table::new(&["load", "check", "measured", "bound", "holds"]);
+    for &load in &[0.5, 1.0, 2.0] {
+        match experiments::theorem5_check(load, 4, 0.2, 100, 2, 64, seed_of(opts)) {
+            Some(checks) => {
+                for c in checks {
+                    t.row_owned(vec![
+                        f3(load),
+                        c.quantity.to_string(),
+                        f3(c.measured),
+                        f3(c.bound),
+                        mark(c.holds).to_string(),
+                    ]);
+                }
+            }
+            None => {
+                t.row_owned(vec![f3(load), "-".into(), "-".into(), "-".into(), "n/a".into()]);
+            }
+        }
+    }
+    emit(
+        "Theorem 5: makespan and mean response time bounds (ABG + DEQ)",
+        &t,
+        opts,
+    );
+}
+
+fn ablate(opts: &Options) -> Result<(), String> {
+    let which = opts.positional.first().map(String::as_str).unwrap_or("all");
+    let mut cfg = AblationConfig::default_probe();
+    if let Some(seed) = opts.seed {
+        cfg.seed = seed;
+    }
+    let run_rate = |opts: &Options| {
+        let rows = experiments::rate_ablation(&cfg, &[0.0, 0.2, 0.4, 0.6, 0.8]);
+        let mut t = Table::new(&["rate", "time/tinf", "waste/t1"]);
+        for r in &rows {
+            t.row_owned(vec![f3(r.rate), f3(r.quality.time_norm), f3(r.quality.waste_norm)]);
+        }
+        let governed = experiments::governed_rate_quality(&cfg, 0.2);
+        t.row_owned(vec![
+            "governed (r ≤ 0.9/Ĉ_L)".into(),
+            f3(governed.time_norm),
+            f3(governed.waste_norm),
+        ]);
+        emit("Ablation: ABG convergence rate r", &t, opts);
+    };
+    let run_quantum = |opts: &Options| {
+        let rows = experiments::quantum_ablation(&cfg, &[50, 100, 200, 400, 800]);
+        let mut t = Table::new(&["L", "abg_t", "abg_w", "agreedy_t", "agreedy_w"]);
+        for r in &rows {
+            t.row_owned(vec![
+                r.quantum_len.to_string(),
+                f3(r.abg.time_norm),
+                f3(r.abg.waste_norm),
+                f3(r.agreedy.time_norm),
+                f3(r.agreedy.waste_norm),
+            ]);
+        }
+        emit("Ablation: quantum length L", &t, opts);
+    };
+    let run_agreedy = |opts: &Options| {
+        let rows = experiments::agreedy_ablation(&cfg, &[1.5, 2.0, 4.0], &[0.5, 0.8, 0.95]);
+        let mut t = Table::new(&["rho", "delta", "time/tinf", "waste/t1"]);
+        for r in &rows {
+            t.row_owned(vec![
+                f3(r.responsiveness),
+                f3(r.utilization),
+                f3(r.quality.time_norm),
+                f3(r.quality.waste_norm),
+            ]);
+        }
+        emit("Ablation: A-Greedy ρ × δ", &t, opts);
+    };
+    let run_scheduler = |opts: &Options| {
+        let rows = experiments::scheduler_ablation(&cfg);
+        let mut t = Table::new(&["scheduler", "time/tinf", "waste/t1"]);
+        for r in &rows {
+            t.row_owned(vec![
+                r.scheduler.clone(),
+                f3(r.quality.time_norm),
+                f3(r.quality.waste_norm),
+            ]);
+        }
+        emit("Ablation: task-scheduler priority rule", &t, opts);
+    };
+    let run_semantics = |opts: &Options| {
+        let rows = experiments::semantics_ablation(&cfg);
+        let mut t = Table::new(&["model", "scheduler", "time/tinf", "waste/t1"]);
+        for r in &rows {
+            t.row_owned(vec![
+                r.model.clone(),
+                r.scheduler.clone(),
+                f3(r.quality.time_norm),
+                f3(r.quality.waste_norm),
+            ]);
+        }
+        emit("Ablation: pipelined vs barrier phase semantics", &t, opts);
+    };
+    match which {
+        "rate" => run_rate(opts),
+        "quantum" => run_quantum(opts),
+        "agreedy" => run_agreedy(opts),
+        "scheduler" => run_scheduler(opts),
+        "semantics" => run_semantics(opts),
+        "all" => {
+            run_rate(opts);
+            run_quantum(opts);
+            run_agreedy(opts);
+            run_scheduler(opts);
+            run_semantics(opts);
+        }
+        other => {
+            return Err(format!(
+                "unknown ablation '{other}' (rate|quantum|agreedy|scheduler|semantics|all)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn steal(opts: &Options) {
+    let mut cfg = StealingConfig::default_probe();
+    if let Some(seed) = opts.seed {
+        cfg.seed = seed;
+    }
+    let rows = experiments::stealing_comparison(&cfg);
+    let mut t = Table::new(&["scheduler", "time/tinf", "waste/t1"]);
+    for r in &rows {
+        t.row_owned(vec![r.scheduler.clone(), f3(r.time_norm), f3(r.waste_norm)]);
+    }
+    emit(
+        "Work stealing: ABG vs A-Steal vs ABP vs A-Control-over-stealing",
+        &t,
+        opts,
+    );
+}
+
+fn adaptive(opts: &Options) {
+    let mut cfg = AdaptiveQuantumConfig::default_probe();
+    if let Some(seed) = opts.seed {
+        cfg.seed = seed;
+    }
+    let rows = experiments::adaptive_quantum_comparison(&cfg);
+    let mut t = Table::new(&["policy", "time/tinf", "waste/t1", "quanta", "reallocations"]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.policy.clone(),
+            f3(r.time_norm),
+            f3(r.waste_norm),
+            f3(r.mean_quanta),
+            f3(r.mean_reallocations),
+        ]);
+    }
+    emit(
+        "Future work: adaptive quantum length under ABG",
+        &t,
+        opts,
+    );
+}
+
+fn robustness(opts: &Options) {
+    let mut cfg = RobustnessConfig::default_probe();
+    if let Some(seed) = opts.seed {
+        cfg.seed = seed;
+    }
+    let rows = experiments::robustness_comparison(&cfg);
+    let mut t = Table::new(&[
+        "profile",
+        "c_l",
+        "cv",
+        "changes/klvl",
+        "abg_t",
+        "agreedy_t",
+        "abg_w",
+        "agreedy_w",
+    ]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.class.clone(),
+            f3(r.transition_factor),
+            f3(r.coefficient_of_variation),
+            f3(r.changes_per_kilolevel),
+            f3(r.abg_time_norm),
+            f3(r.agreedy_time_norm),
+            f3(r.abg_waste_norm),
+            f3(r.agreedy_waste_norm),
+        ]);
+    }
+    emit(
+        "Robustness: irregular parallelism profiles and alternative job characteristics",
+        &t,
+        opts,
+    );
+}
+
+fn allocators(opts: &Options) {
+    let mut cfg = AllocatorPolicyConfig::default_probe();
+    if let Some(seed) = opts.seed {
+        cfg.seed = seed;
+    }
+    let rows = experiments::allocator_policy_comparison(&cfg);
+    let mut t = Table::new(&["policy", "load", "m/m*", "r/r*", "waste/work"]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.policy.clone(),
+            f3(r.load),
+            f3(r.makespan_norm),
+            f3(r.response_norm),
+            f3(r.waste_norm),
+        ]);
+    }
+    emit(
+        "OS allocator policies: DEQ vs round-robin vs proportional (ABG jobs)",
+        &t,
+        opts,
+    );
+}
+
+fn overhead(opts: &Options) {
+    let mut cfg = OverheadConfig::default_probe();
+    if let Some(seed) = opts.seed {
+        cfg.seed = seed;
+    }
+    let rows = experiments::overhead_sweep(&cfg);
+    let mut t = Table::new(&[
+        "overhead/L",
+        "abg_t",
+        "agreedy_t",
+        "abg_w",
+        "agreedy_w",
+        "abg_reallocs",
+        "agreedy_reallocs",
+    ]);
+    for r in &rows {
+        t.row_owned(vec![
+            f3(r.overhead_fraction),
+            f3(r.abg_time_norm),
+            f3(r.agreedy_time_norm),
+            f3(r.abg_waste_norm),
+            f3(r.agreedy_waste_norm),
+            f3(r.abg_reallocations),
+            f3(r.agreedy_reallocations),
+        ]);
+    }
+    emit(
+        "Reallocation overhead: pricing request instability",
+        &t,
+        opts,
+    );
+}
+
+fn all(opts: &Options) {
+    fig1(opts);
+    fig2(opts);
+    fig4(opts);
+    fig5(opts);
+    fig6(opts);
+    thm1(opts);
+    lemma2(opts);
+    thm3(opts);
+    thm4(opts);
+    thm5(opts);
+    let _ = ablate(opts);
+    steal(opts);
+    adaptive(opts);
+    robustness(opts);
+    allocators(opts);
+    overhead(opts);
+}

@@ -1,0 +1,139 @@
+//! Minimal flag parsing for `abg-cli` (no external dependency).
+
+/// Parsed command line.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    /// The subcommand (first positional argument).
+    pub command: Option<String>,
+    /// Extra positional arguments after the command (e.g. the ablation
+    /// name).
+    pub positional: Vec<String>,
+    /// Run at the paper's full scale.
+    pub full: bool,
+    /// Emit CSV instead of an aligned table.
+    pub csv: bool,
+    /// Override the experiment seed.
+    pub seed: Option<u64>,
+    /// Append ASCII charts after the tables.
+    pub plot: bool,
+}
+
+impl Options {
+    /// Usage text shown for `--help` and errors.
+    pub const USAGE: &'static str = "\
+usage: abg-cli <command> [args] [--full] [--csv] [--seed N]
+
+commands:
+  fig1                 A-Greedy request instability (Figure 1)
+  fig2                 B-Greedy fractional quantum statistics (Figure 2)
+  fig4                 ABG vs A-Greedy transient trajectories (Figure 4)
+  fig5                 single-job sweep over transition factors (Figure 5)
+  fig6                 multiprogrammed load sweep (Figure 6)
+  thm1                 control-theoretic metrics grid (Theorem 1)
+  lemma2               request/parallelism envelope check (Lemma 2)
+  thm3                 time bound under adversarial availability (Theorem 3)
+  thm4                 waste bound check (Theorem 4)
+  thm5                 makespan / response-time bound check (Theorem 5)
+  ablate <which>       rate | quantum | agreedy | scheduler | semantics | all
+  steal                ABG vs A-Steal vs ABP (work-stealing substrate)
+  adaptive             adaptive quantum length (paper future work)
+  robustness           irregular parallelism profiles
+  allocators           DEQ vs round-robin vs proportional share
+  overhead             reallocation-overhead sensitivity sweep
+  all                  every experiment at scaled size
+
+flags:
+  --full               paper-scale fig5/fig6 (sub-second; the fast paths are cheap)
+  --csv                CSV output instead of aligned tables
+  --plot               append ASCII charts after the tables
+  --seed N             override the experiment seed
+  -h, --help           this text";
+
+    /// Parses raw arguments.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = Options::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--full" => opts.full = true,
+                "--csv" => opts.csv = true,
+                "--plot" => opts.plot = true,
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    opts.seed =
+                        Some(v.parse().map_err(|_| format!("invalid seed '{v}'"))?);
+                }
+                "-h" | "--help" => {
+                    opts.command = None;
+                    return Ok(opts);
+                }
+                flag if flag.starts_with('-') => {
+                    return Err(format!("unknown flag '{flag}'"));
+                }
+                positional => {
+                    if opts.command.is_none() {
+                        opts.command = Some(positional.to_string());
+                    } else {
+                        opts.positional.push(positional.to_string());
+                    }
+                }
+            }
+        }
+        Ok(opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        Options::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let o = parse(&["fig5", "--full", "--seed", "42"]).unwrap();
+        assert_eq!(o.command.as_deref(), Some("fig5"));
+        assert!(o.full);
+        assert!(!o.csv);
+        assert_eq!(o.seed, Some(42));
+    }
+
+    #[test]
+    fn collects_positional_args() {
+        let o = parse(&["ablate", "rate", "--csv"]).unwrap();
+        assert_eq!(o.command.as_deref(), Some("ablate"));
+        assert_eq!(o.positional, vec!["rate"]);
+        assert!(o.csv);
+    }
+
+    #[test]
+    fn parses_plot_flag() {
+        let o = parse(&["fig4", "--plot"]).unwrap();
+        assert!(o.plot);
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(parse(&["fig1", "--what"]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_seed() {
+        assert!(parse(&["fig1", "--seed", "abc"]).is_err());
+        assert!(parse(&["fig1", "--seed"]).is_err());
+    }
+
+    #[test]
+    fn help_clears_command() {
+        let o = parse(&["fig1", "--help"]).unwrap();
+        assert!(o.command.is_none());
+    }
+
+    #[test]
+    fn empty_args_ok() {
+        let o = parse(&[]).unwrap();
+        assert!(o.command.is_none());
+    }
+}

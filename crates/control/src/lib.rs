@@ -1,0 +1,72 @@
+//! Processor-request calculation for the ABG reproduction.
+//!
+//! Between scheduling quanta the task scheduler reports a *processor
+//! request* `d(q+1)` to the OS allocator, computed from the statistics of
+//! the quantum that just ended. This crate implements the paper's
+//! [`AControl`] adaptive integral controller (Section 3) and the
+//! [`AGreedy`] multiplicative-increase/multiplicative-decrease baseline it
+//! is compared against, plus simple reference calculators and the
+//! control-theoretic analysis toolkit behind Theorem 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acontrol;
+pub mod adaptive_rate;
+pub mod agreedy;
+pub mod analysis;
+pub mod baselines;
+pub mod pi;
+
+pub use acontrol::AControl;
+pub use adaptive_rate::AdaptiveRateControl;
+pub use agreedy::AGreedy;
+pub use analysis::{analyze_step_response, ClosedLoop, PiClosedLoop, StepMetrics};
+pub use baselines::{ConstantRequest, OracleRequest};
+pub use pi::PiControl;
+
+use abg_sched::QuantumStats;
+
+/// A non-clairvoyant processor-request calculator for one job.
+///
+/// The calculator is fed the statistics of each completed quantum and
+/// produces the request for the next one. `current_request` must return
+/// the value most recently produced (or the initial request before any
+/// feedback), so the simulator can query a job's standing request without
+/// mutating state.
+pub trait RequestCalculator {
+    /// The request for the job's first quantum; the paper fixes
+    /// `d(1) = 1` for both ABG and A-Greedy.
+    fn initial_request(&self) -> f64 {
+        1.0
+    }
+
+    /// Observes quantum `q` and returns the request `d(q+1)`.
+    fn observe(&mut self, stats: &QuantumStats) -> f64;
+
+    /// The standing request (last value returned by [`observe`], or the
+    /// initial request).
+    ///
+    /// [`observe`]: RequestCalculator::observe
+    fn current_request(&self) -> f64;
+
+    /// Short human-readable name used in traces and reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Boxed calculators are calculators too, so the simulator can hold a
+/// heterogeneous set of per-job controllers.
+impl RequestCalculator for Box<dyn RequestCalculator + Send> {
+    fn initial_request(&self) -> f64 {
+        (**self).initial_request()
+    }
+    fn observe(&mut self, stats: &QuantumStats) -> f64 {
+        (**self).observe(stats)
+    }
+    fn current_request(&self) -> f64 {
+        (**self).current_request()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}

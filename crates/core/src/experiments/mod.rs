@@ -1,0 +1,122 @@
+//! Experiment harness: one function per figure/analysis of the paper's
+//! evaluation, shared by the CLI, the benches and the integration tests.
+//!
+//! Every experiment takes an explicit config with a deterministic seed
+//! and returns plain data rows, so the same code regenerates the paper's
+//! figures at paper scale (`*Config::paper()`) or at a scaled-down size
+//! suitable for tests and Criterion benches (`*Config::scaled()`).
+
+pub mod ablation;
+pub mod adaptive_quantum;
+pub mod allocator_policies;
+pub mod multiprogrammed;
+pub mod overhead;
+pub mod robustness;
+pub mod single_job;
+pub mod stealing;
+pub mod theory;
+pub mod transient;
+
+pub use ablation::{
+    agreedy_ablation, governed_rate_quality, quantum_ablation, rate_ablation,
+    scheduler_ablation, semantics_ablation, AblationConfig, QualityPoint,
+};
+pub use adaptive_quantum::{adaptive_quantum_comparison, AdaptiveQuantumConfig, AdaptiveQuantumRow};
+pub use allocator_policies::{allocator_policy_comparison, AllocatorPolicyConfig, AllocatorPolicyRow};
+pub use multiprogrammed::{multiprogrammed_sweep, LoadPoint, MultiprogrammedConfig};
+pub use overhead::{overhead_sweep, OverheadConfig, OverheadRow};
+pub use robustness::{robustness_comparison, RobustnessConfig, RobustnessRow};
+pub use stealing::{stealing_comparison, StealRow, StealingConfig};
+pub use single_job::{single_job_sweep, SingleJobSweepConfig, SweepPoint};
+pub use theory::{
+    lemma2_check, theorem1_grid, theorem3_check, theorem4_check, theorem5_check, BoundCheck,
+    Theorem1Row,
+};
+pub use transient::{transient_comparison, TrajectoryPoint, TransientConfig, TransientResult};
+
+use std::sync::Mutex;
+
+/// Derives a per-task RNG seed from an experiment seed and task indices,
+/// so runs are reproducible and independent of the parallel schedule.
+pub(crate) fn task_seed(seed: u64, a: u64, b: u64) -> u64 {
+    // SplitMix64-style mixing of (seed, a, b).
+    let mut z = seed
+        .wrapping_add(a.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Order-preserving parallel map over work items using scoped threads.
+///
+/// Each item is independent; results come back in input order. Used by
+/// the sweep experiments to spread (factor, job) work units across
+/// cores.
+pub(crate) fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Mutex<std::vec::IntoIter<T>> = Mutex::new(items.into_iter());
+    let indexed: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
+    let counter = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let item = {
+                    let mut it = work.lock().expect("worker panicked holding queue");
+                    let idx = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    match it.next() {
+                        Some(x) => (idx, x),
+                        None => return,
+                    }
+                };
+                let out = f(item.1);
+                indexed
+                    .lock()
+                    .expect("worker panicked holding results")
+                    .push((item.0, out));
+            });
+        }
+    });
+    let mut results = indexed.into_inner().expect("scope joined all workers");
+    results.sort_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, u)| u).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..1000).collect::<Vec<i64>>(), |x| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn task_seed_is_deterministic_and_spread() {
+        assert_eq!(task_seed(1, 2, 3), task_seed(1, 2, 3));
+        assert_ne!(task_seed(1, 2, 3), task_seed(1, 3, 2));
+        assert_ne!(task_seed(1, 2, 3), task_seed(2, 2, 3));
+    }
+}

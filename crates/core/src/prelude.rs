@@ -1,0 +1,23 @@
+//! Convenience re-exports of the types most programs need.
+
+pub use abg_alloc::{
+    Allocator, DynamicEquiPartition, Proportional, RoundRobin, Scripted,
+};
+pub use abg_control::{
+    AControl, AGreedy, ClosedLoop, ConstantRequest, OracleRequest, RequestCalculator,
+};
+pub use abg_dag::{
+    DagBuilder, ExplicitDag, ForkJoinSpec, JobStructure, LeveledJob, ParallelismProfile, Phase,
+    PhasedJob, TaskId,
+};
+pub use abg_sched::{
+    BGreedyExecutor, DepthFirstExecutor, GreedyExecutor, JobExecutor, LeveledExecutor,
+    OwnedBGreedyExecutor, PipelinedExecutor, QuantumStats,
+};
+pub use abg_sim::{
+    run_single_job, JobMetrics, JobOutcome, MultiJobOutcome, MultiJobSim, QuantumRecord,
+    SingleJobConfig, SingleJobRun,
+};
+pub use abg_workload::{paper_job, JobSet, JobSetSpec, ReleaseSchedule};
+
+pub use crate::bounds;

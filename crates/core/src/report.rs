@@ -1,0 +1,309 @@
+//! Plain-text table and CSV rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width table builder used by the CLI and by
+/// EXPERIMENTS.md generation.
+///
+/// ```
+/// use abg::report::Table;
+///
+/// let mut t = Table::new(&["factor", "ratio"]);
+/// t.row(&["2", "1.08"]);
+/// t.row(&["100", "1.31"]);
+/// let text = t.render();
+/// assert!(text.contains("factor"));
+/// assert!(text.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: &[&str]) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are
+    /// rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has more cells than there are headers.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert!(
+            cells.len() <= self.headers.len(),
+            "row has {} cells but the table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of pre-formatted `String` cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        assert!(cells.len() <= self.headers.len());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns and a header separator.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, w) in widths.iter().enumerate().take(cols) {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}");
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        for (i, w) in widths.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&"-".repeat(*w));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (no quoting: cells are numeric or plain
+    /// identifiers in this codebase).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A terminal line chart for experiment series: each named series is
+/// drawn with its own glyph over a shared y-scale.
+///
+/// Intended for the CLI's `--plot` mode, where eyeballing a trajectory
+/// (Figures 1/4) or a sweep (Figures 5/6) beats reading a column of
+/// numbers.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    series: Vec<(String, char, Vec<f64>)>,
+    height: usize,
+}
+
+impl Chart {
+    /// Creates an empty chart of the given height in rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height < 2`.
+    pub fn new(height: usize) -> Self {
+        assert!(height >= 2, "a chart needs at least two rows");
+        Self {
+            series: Vec::new(),
+            height,
+        }
+    }
+
+    /// Adds a named series drawn with `glyph`.
+    pub fn series(&mut self, name: &str, glyph: char, values: &[f64]) -> &mut Self {
+        self.series.push((name.to_string(), glyph, values.to_vec()));
+        self
+    }
+
+    /// Renders the chart; series drawn later overdraw earlier ones where
+    /// they collide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series were added or every value is non-finite.
+    pub fn render(&self) -> String {
+        assert!(!self.series.is_empty(), "chart has no series");
+        let finite: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|(_, _, v)| v.iter().copied())
+            .filter(|v| v.is_finite())
+            .collect();
+        assert!(!finite.is_empty(), "chart has no finite values");
+        let max = finite.iter().cloned().fold(f64::MIN, f64::max);
+        let min = finite.iter().cloned().fold(f64::MAX, f64::min);
+        let span = (max - min).max(1e-12);
+        let width = self.series.iter().map(|(_, _, v)| v.len()).max().unwrap_or(0);
+
+        let mut grid = vec![vec![' '; width]; self.height];
+        for (_, glyph, values) in &self.series {
+            for (x, &v) in values.iter().enumerate() {
+                if !v.is_finite() {
+                    continue;
+                }
+                let norm = (v - min) / span;
+                let y = ((1.0 - norm) * (self.height - 1) as f64).round() as usize;
+                grid[y.min(self.height - 1)][x] = *glyph;
+            }
+        }
+
+        let mut out = String::new();
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{max:>9.2} |")
+            } else if i == self.height - 1 {
+                format!("{min:>9.2} |")
+            } else {
+                format!("{:>9} |", "")
+            };
+            out.push_str(&label);
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        let _ = writeln!(out, "{:>9} +{}", "", "-".repeat(width));
+        for (name, glyph, _) in &self.series {
+            let _ = writeln!(out, "{:>11}{glyph} = {name}", "");
+        }
+        out
+    }
+}
+
+/// Formats a float with 3 decimal places (the precision used throughout
+/// the experiment tables).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a boolean as a check mark / cross for bound tables.
+pub fn mark(ok: bool) -> &'static str {
+    if ok {
+        "ok"
+    } else {
+        "VIOLATED"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&["1", "2"]);
+        t.row(&["100", "3"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::new(&["x", "y"]);
+        t.row(&["1", "2"]).row(&["3", "4"]);
+        let csv = t.render_csv();
+        assert_eq!(csv, "x,y\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn short_rows_pad() {
+        let mut t = Table::new(&["x", "y"]);
+        t.row(&["1"]);
+        assert!(t.render().contains('1'));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn long_rows_rejected() {
+        let mut t = Table::new(&["x"]);
+        t.row(&["1", "2"]);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(mark(true), "ok");
+        assert_eq!(mark(false), "VIOLATED");
+    }
+
+    #[test]
+    fn chart_renders_extremes_on_first_and_last_rows() {
+        let mut c = Chart::new(5);
+        c.series("rise", '#', &[0.0, 1.0, 2.0, 3.0, 4.0]);
+        let s = c.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains('#'), "max on the top row: {s}");
+        assert!(lines[4].contains('#'), "min on the bottom row: {s}");
+        assert!(s.contains("# = rise"));
+        assert!(s.contains("4.00"));
+        assert!(s.contains("0.00"));
+    }
+
+    #[test]
+    fn chart_overlays_multiple_series() {
+        let mut c = Chart::new(4);
+        c.series("a", 'a', &[1.0, 1.0]).series("b", 'b', &[2.0, 2.0]);
+        let s = c.render();
+        assert!(s.contains('a') && s.contains('b'));
+    }
+
+    #[test]
+    fn chart_skips_non_finite_points() {
+        let mut c = Chart::new(3);
+        c.series("gappy", '*', &[1.0, f64::NAN, 3.0]);
+        let s = c.render();
+        assert_eq!(s.matches('*').count(), 3, "2 points + legend glyph: {s}");
+    }
+
+    #[test]
+    fn chart_handles_constant_series() {
+        let mut c = Chart::new(3);
+        c.series("flat", '-', &[5.0; 8]);
+        let s = c.render();
+        assert!(s.contains("5.00"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no series")]
+    fn empty_chart_rejected() {
+        let _ = Chart::new(3).render();
+    }
+}

@@ -1,0 +1,419 @@
+//! Arbitrary precedence graphs over unit tasks.
+//!
+//! An [`ExplicitDag`] stores the successor lists and in-degrees of every
+//! task plus the level assignment (longest distance from a source). It is
+//! constructed through [`DagBuilder`], which validates that the graph is
+//! acyclic and well-formed before any scheduler touches it.
+
+use crate::{Level, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// Errors detected while building or validating a dag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// The graph contains no tasks; a job must have at least one task.
+    Empty,
+    /// An edge references a task id that was never added.
+    UnknownTask(TaskId),
+    /// An edge from a task to itself.
+    SelfLoop(TaskId),
+    /// The same (from, to) edge was added twice.
+    DuplicateEdge(TaskId, TaskId),
+    /// The precedence relation contains a cycle; `remaining` tasks could
+    /// not be topologically ordered.
+    Cycle {
+        /// Number of tasks that are part of (or downstream of) a cycle.
+        remaining: usize,
+    },
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::Empty => write!(f, "dag has no tasks"),
+            DagError::UnknownTask(t) => write!(f, "edge references unknown task {t}"),
+            DagError::SelfLoop(t) => write!(f, "self-loop on task {t}"),
+            DagError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            DagError::Cycle { remaining } => {
+                write!(f, "precedence relation is cyclic ({remaining} tasks unordered)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// Incremental builder for an [`ExplicitDag`].
+///
+/// ```
+/// use abg_dag::DagBuilder;
+///
+/// // A two-task chain: t0 -> t1.
+/// let mut b = DagBuilder::new();
+/// let t0 = b.add_task();
+/// let t1 = b.add_task();
+/// b.add_edge(t0, t1).unwrap();
+/// let dag = b.build().unwrap();
+/// assert_eq!(dag.work(), 2);
+/// assert_eq!(dag.span(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct DagBuilder {
+    succs: Vec<Vec<TaskId>>,
+    in_degree: Vec<u32>,
+}
+
+impl DagBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with capacity for `n` tasks.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            succs: Vec::with_capacity(n),
+            in_degree: Vec::with_capacity(n),
+        }
+    }
+
+    /// Adds a new unit task and returns its id.
+    pub fn add_task(&mut self) -> TaskId {
+        let id = TaskId(u32::try_from(self.succs.len()).expect("more than u32::MAX tasks"));
+        self.succs.push(Vec::new());
+        self.in_degree.push(0);
+        id
+    }
+
+    /// Adds `n` tasks, returning the id of the first; the block is
+    /// contiguous, so the ids are `first..first + n`.
+    pub fn add_tasks(&mut self, n: usize) -> TaskId {
+        let first = TaskId(self.succs.len() as u32);
+        for _ in 0..n {
+            self.add_task();
+        }
+        first
+    }
+
+    /// Number of tasks added so far.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether no tasks were added yet.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Adds a precedence edge `from -> to` (i.e. `to` becomes ready only
+    /// after `from` completes).
+    ///
+    /// Rejects self-loops, unknown ids and duplicate edges immediately;
+    /// cycles are detected at [`DagBuilder::build`] time.
+    pub fn add_edge(&mut self, from: TaskId, to: TaskId) -> Result<(), DagError> {
+        let n = self.succs.len() as u32;
+        if from.0 >= n {
+            return Err(DagError::UnknownTask(from));
+        }
+        if to.0 >= n {
+            return Err(DagError::UnknownTask(to));
+        }
+        if from == to {
+            return Err(DagError::SelfLoop(from));
+        }
+        if self.succs[from.index()].contains(&to) {
+            return Err(DagError::DuplicateEdge(from, to));
+        }
+        self.succs[from.index()].push(to);
+        self.in_degree[to.index()] += 1;
+        Ok(())
+    }
+
+    /// Validates the graph (non-empty, acyclic), computes levels, and
+    /// returns the finished dag.
+    pub fn build(self) -> Result<ExplicitDag, DagError> {
+        if self.succs.is_empty() {
+            return Err(DagError::Empty);
+        }
+        let n = self.succs.len();
+        // Kahn's algorithm doubling as cycle detection and (longest-path)
+        // level assignment.
+        let mut indeg = self.in_degree.clone();
+        let mut level: Vec<Level> = vec![0; n];
+        let mut queue: Vec<TaskId> = (0..n as u32)
+            .map(TaskId)
+            .filter(|t| indeg[t.index()] == 0)
+            .collect();
+        let mut ordered = 0usize;
+        let mut head = 0usize;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            ordered += 1;
+            let lu = level[u.index()];
+            for &v in &self.succs[u.index()] {
+                let lv = &mut level[v.index()];
+                *lv = (*lv).max(lu + 1);
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if ordered != n {
+            return Err(DagError::Cycle { remaining: n - ordered });
+        }
+        let span = level.iter().copied().max().unwrap_or(0) + 1;
+        let mut level_sizes = vec![0u64; span as usize];
+        for &l in &level {
+            level_sizes[l as usize] += 1;
+        }
+        Ok(ExplicitDag {
+            succs: self.succs,
+            in_degree: self.in_degree,
+            level,
+            level_sizes,
+        })
+    }
+}
+
+/// A validated, immutable precedence graph over unit tasks.
+///
+/// Tasks are identified by dense [`TaskId`]s; the structure stores the
+/// successor adjacency, the in-degree of each task (used by executors to
+/// track readiness) and each task's level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExplicitDag {
+    succs: Vec<Vec<TaskId>>,
+    in_degree: Vec<u32>,
+    level: Vec<Level>,
+    level_sizes: Vec<u64>,
+}
+
+impl ExplicitDag {
+    /// Total number of tasks, i.e. the work `T1` of the job.
+    #[inline]
+    pub fn work(&self) -> u64 {
+        self.succs.len() as u64
+    }
+
+    /// Critical-path length `T∞`: number of tasks on the longest chain.
+    #[inline]
+    pub fn span(&self) -> u64 {
+        self.level_sizes.len() as u64
+    }
+
+    /// Number of tasks (as a `usize`, for indexing).
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Successors of `t`.
+    #[inline]
+    pub fn successors(&self, t: TaskId) -> &[TaskId] {
+        &self.succs[t.index()]
+    }
+
+    /// In-degree (number of direct predecessors) of `t`.
+    #[inline]
+    pub fn in_degree(&self, t: TaskId) -> u32 {
+        self.in_degree[t.index()]
+    }
+
+    /// Level of `t` (longest distance from a source; sources are level 0).
+    #[inline]
+    pub fn level(&self, t: TaskId) -> Level {
+        self.level[t.index()]
+    }
+
+    /// Number of tasks at each level; `level_sizes().len() == span()`.
+    #[inline]
+    pub fn level_sizes(&self) -> &[u64] {
+        &self.level_sizes
+    }
+
+    /// Iterator over all task ids in id order.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.succs.len() as u32).map(TaskId)
+    }
+
+    /// Tasks with no predecessors (ready at job start).
+    pub fn sources(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.tasks().filter(|t| self.in_degree[t.index()] == 0)
+    }
+
+    /// Tasks with no successors.
+    pub fn sinks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.tasks().filter(|t| self.succs[t.index()].is_empty())
+    }
+
+    /// Total number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+
+    /// Average parallelism `T1 / T∞`.
+    pub fn average_parallelism(&self) -> f64 {
+        self.work() as f64 / self.span() as f64
+    }
+
+    /// Renders the dag in Graphviz `dot` syntax, ranking tasks by level.
+    ///
+    /// Intended for debugging and for illustrating small example graphs
+    /// (such as the paper's Figure 2); not meant for large jobs.
+    pub fn to_dot(&self, name: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {name} {{");
+        let _ = writeln!(out, "  rankdir=TB; node [shape=circle];");
+        for l in 0..self.level_sizes.len() as u32 {
+            let ids: Vec<String> = self
+                .tasks()
+                .filter(|t| self.level[t.index()] == l)
+                .map(|t| format!("{t}"))
+                .collect();
+            let _ = writeln!(out, "  {{ rank=same; {} }}", ids.join("; "));
+        }
+        for t in self.tasks() {
+            for &s in self.successors(t) {
+                let _ = writeln!(out, "  {t} -> {s};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> ExplicitDag {
+        let mut b = DagBuilder::new();
+        let first = b.add_tasks(n);
+        for i in 0..n - 1 {
+            b.add_edge(TaskId(first.0 + i as u32), TaskId(first.0 + i as u32 + 1))
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn empty_dag_rejected() {
+        assert_eq!(DagBuilder::new().build().unwrap_err(), DagError::Empty);
+    }
+
+    #[test]
+    fn single_task() {
+        let mut b = DagBuilder::new();
+        b.add_task();
+        let d = b.build().unwrap();
+        assert_eq!(d.work(), 1);
+        assert_eq!(d.span(), 1);
+        assert_eq!(d.level_sizes(), &[1]);
+        assert_eq!(d.sources().count(), 1);
+        assert_eq!(d.sinks().count(), 1);
+    }
+
+    #[test]
+    fn chain_levels() {
+        let d = chain(5);
+        assert_eq!(d.work(), 5);
+        assert_eq!(d.span(), 5);
+        for t in d.tasks() {
+            assert_eq!(d.level(t), t.0);
+        }
+        assert_eq!(d.average_parallelism(), 1.0);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = DagBuilder::new();
+        let t = b.add_task();
+        assert_eq!(b.add_edge(t, t).unwrap_err(), DagError::SelfLoop(t));
+    }
+
+    #[test]
+    fn unknown_task_rejected() {
+        let mut b = DagBuilder::new();
+        let t = b.add_task();
+        let bogus = TaskId(7);
+        assert_eq!(b.add_edge(t, bogus).unwrap_err(), DagError::UnknownTask(bogus));
+        assert_eq!(b.add_edge(bogus, t).unwrap_err(), DagError::UnknownTask(bogus));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut b = DagBuilder::new();
+        let a = b.add_task();
+        let c = b.add_task();
+        b.add_edge(a, c).unwrap();
+        assert_eq!(b.add_edge(a, c).unwrap_err(), DagError::DuplicateEdge(a, c));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut b = DagBuilder::new();
+        let a = b.add_task();
+        let c = b.add_task();
+        let d = b.add_task();
+        b.add_edge(a, c).unwrap();
+        b.add_edge(c, d).unwrap();
+        b.add_edge(d, c).unwrap();
+        match b.build().unwrap_err() {
+            DagError::Cycle { remaining } => assert_eq!(remaining, 2),
+            e => panic!("expected cycle, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn diamond_levels() {
+        // a -> {b, c} -> d
+        let mut b = DagBuilder::new();
+        let a = b.add_task();
+        let x = b.add_task();
+        let y = b.add_task();
+        let z = b.add_task();
+        b.add_edge(a, x).unwrap();
+        b.add_edge(a, y).unwrap();
+        b.add_edge(x, z).unwrap();
+        b.add_edge(y, z).unwrap();
+        let d = b.build().unwrap();
+        assert_eq!(d.span(), 3);
+        assert_eq!(d.level_sizes(), &[1, 2, 1]);
+        assert_eq!(d.level(z), 2);
+        assert_eq!(d.in_degree(z), 2);
+        assert_eq!(d.num_edges(), 4);
+    }
+
+    #[test]
+    fn level_is_longest_path() {
+        // a -> b -> d, a -> d: level(d) must be 2, not 1.
+        let mut bld = DagBuilder::new();
+        let a = bld.add_task();
+        let b = bld.add_task();
+        let d = bld.add_task();
+        bld.add_edge(a, b).unwrap();
+        bld.add_edge(b, d).unwrap();
+        bld.add_edge(a, d).unwrap();
+        let dag = bld.build().unwrap();
+        assert_eq!(dag.level(d), 2);
+        assert_eq!(dag.span(), 3);
+    }
+
+    #[test]
+    fn dot_output_contains_edges() {
+        let d = chain(3);
+        let dot = d.to_dot("g");
+        assert!(dot.contains("t0 -> t1;"));
+        assert!(dot.contains("t1 -> t2;"));
+        assert!(dot.starts_with("digraph g {"));
+    }
+
+    #[test]
+    fn level_sizes_sum_to_work() {
+        let d = chain(9);
+        assert_eq!(d.level_sizes().iter().sum::<u64>(), d.work());
+    }
+}

@@ -1,0 +1,168 @@
+//! Parallelism profiles: the job's parallelism as a function of
+//! critical-path progress.
+//!
+//! Under the *reference schedule* (B-Greedy with an unbounded number of
+//! processors) each level of a job completes in exactly one time step, so
+//! the per-level width profile **is** the job's parallelism over time.
+//! The profile is the object from which the paper's transition factor
+//! `C_L` is derived (Section 5.2) and is also useful for plotting and for
+//! characterising generated workloads.
+
+use serde::{Deserialize, Serialize};
+
+/// The per-level parallelism profile of a job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParallelismProfile {
+    widths: Vec<u64>,
+}
+
+impl ParallelismProfile {
+    /// Builds a profile from per-level widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `widths` is empty or contains zeros.
+    pub fn new(widths: Vec<u64>) -> Self {
+        assert!(!widths.is_empty(), "profile must cover at least one level");
+        assert!(widths.iter().all(|&w| w > 0), "profile widths must be positive");
+        Self { widths }
+    }
+
+    /// Per-level widths.
+    #[inline]
+    pub fn widths(&self) -> &[u64] {
+        &self.widths
+    }
+
+    /// Number of levels (`T∞`).
+    #[inline]
+    pub fn span(&self) -> u64 {
+        self.widths.len() as u64
+    }
+
+    /// Total work (`T1`).
+    #[inline]
+    pub fn work(&self) -> u64 {
+        self.widths.iter().sum()
+    }
+
+    /// Average parallelism `T1 / T∞`.
+    pub fn average(&self) -> f64 {
+        self.work() as f64 / self.span() as f64
+    }
+
+    /// Maximum instantaneous parallelism.
+    pub fn peak(&self) -> u64 {
+        self.widths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Average parallelism of each scheduling quantum of `quantum_levels`
+    /// levels under the reference (ample-processor) schedule, where one
+    /// level completes per step.
+    ///
+    /// The trailing partial quantum, if any, is included as the last
+    /// element; callers interested only in full quanta can drop it when
+    /// `span() % quantum_levels != 0`.
+    pub fn quantum_averages(&self, quantum_levels: u64) -> Vec<f64> {
+        assert!(quantum_levels > 0, "quantum must span at least one level");
+        self.widths
+            .chunks(quantum_levels as usize)
+            .map(|c| c.iter().sum::<u64>() as f64 / c.len() as f64)
+            .collect()
+    }
+
+    /// Coefficient of variation of the per-level parallelism — an
+    /// alternative variability characteristic suggested by the paper's
+    /// future-work section (Section 9).
+    pub fn coefficient_of_variation(&self) -> f64 {
+        let n = self.widths.len() as f64;
+        let mean = self.average();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .widths
+            .iter()
+            .map(|&w| {
+                let d = w as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+
+    /// Number of adjacent-level parallelism changes — the "frequency of
+    /// the change of parallelism" characteristic from Section 9.
+    pub fn change_count(&self) -> usize {
+        self.widths.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+}
+
+impl From<&crate::LeveledJob> for ParallelismProfile {
+    fn from(job: &crate::LeveledJob) -> Self {
+        Self::new(job.widths().to_vec())
+    }
+}
+
+impl From<&crate::ExplicitDag> for ParallelismProfile {
+    fn from(dag: &crate::ExplicitDag) -> Self {
+        Self::new(dag.level_sizes().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LeveledJob;
+
+    #[test]
+    fn basic_stats() {
+        let p = ParallelismProfile::new(vec![1, 1, 4, 4, 4, 1]);
+        assert_eq!(p.span(), 6);
+        assert_eq!(p.work(), 15);
+        assert_eq!(p.peak(), 4);
+        assert!((p.average() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantum_averages_chunks() {
+        let p = ParallelismProfile::new(vec![1, 1, 4, 4, 4, 1]);
+        let q = p.quantum_averages(2);
+        assert_eq!(q, vec![1.0, 4.0, 2.5]);
+    }
+
+    #[test]
+    fn quantum_averages_partial_tail() {
+        let p = ParallelismProfile::new(vec![2, 2, 2, 6]);
+        let q = p.quantum_averages(3);
+        assert_eq!(q, vec![2.0, 6.0]);
+    }
+
+    #[test]
+    fn change_count_counts_transitions() {
+        let p = ParallelismProfile::new(vec![1, 1, 4, 4, 1, 1]);
+        assert_eq!(p.change_count(), 2);
+    }
+
+    #[test]
+    fn constant_profile_cv_zero() {
+        let p = ParallelismProfile::new(vec![5, 5, 5]);
+        assert_eq!(p.coefficient_of_variation(), 0.0);
+        assert_eq!(p.change_count(), 0);
+    }
+
+    #[test]
+    fn from_leveled_and_explicit_agree() {
+        let j = LeveledJob::from_widths(vec![1, 3, 2]);
+        let from_leveled = ParallelismProfile::from(&j);
+        let from_explicit = ParallelismProfile::from(&j.to_explicit());
+        assert_eq!(from_leveled, from_explicit);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_profile_rejected() {
+        let _ = ParallelismProfile::new(vec![]);
+    }
+}

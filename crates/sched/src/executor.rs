@@ -1,0 +1,279 @@
+//! Per-task executor for explicit dags, generic over the greedy variant.
+
+use crate::quantum::QuantumStats;
+use crate::queue::{BreadthFirstQueue, FifoQueue, LifoQueue, ReadyQueue};
+use crate::JobExecutor;
+use abg_dag::{ExplicitDag, TaskId};
+use std::borrow::Borrow;
+
+/// Executes an [`ExplicitDag`] one time step at a time, popping up to
+/// `a(q)` ready tasks per step from a [`ReadyQueue`] `Q` that encodes the
+/// scheduling priority.
+///
+/// Tasks are unit-size: a task popped in step `t` completes at the end of
+/// step `t`, and its successors become ready no earlier than step `t+1`
+/// (newly enabled tasks are inserted after the step's batch is chosen).
+///
+/// The dag handle `D` can be a borrow (`&ExplicitDag`) for zero-copy use,
+/// or an owning handle (`ExplicitDag`, `Arc<ExplicitDag>`) when the
+/// executor must be `'static`, e.g. inside the multi-job simulator's
+/// boxed job table.
+#[derive(Debug)]
+pub struct DagExecutor<D: Borrow<ExplicitDag>, Q: ReadyQueue> {
+    dag: D,
+    remaining_preds: Vec<u32>,
+    ready: Q,
+    /// Tasks completed per level since job start (for fractional T∞(q)).
+    completed_per_level: Vec<u64>,
+    completed: u64,
+    elapsed: u64,
+    /// Scratch buffer of tasks selected in the current step.
+    batch: Vec<TaskId>,
+}
+
+/// B-Greedy: greedy with breadth-first (lowest level first) priority.
+pub type BGreedyExecutor<'a> = DagExecutor<&'a ExplicitDag, BreadthFirstQueue>;
+
+/// Plain greedy: any ready tasks, FIFO order.
+pub type GreedyExecutor<'a> = DagExecutor<&'a ExplicitDag, FifoQueue>;
+
+/// Depth-first greedy: most recently enabled tasks first.
+pub type DepthFirstExecutor<'a> = DagExecutor<&'a ExplicitDag, LifoQueue>;
+
+/// Owning B-Greedy executor, usable where `'static` is required.
+pub type OwnedBGreedyExecutor = DagExecutor<ExplicitDag, BreadthFirstQueue>;
+
+impl<D: Borrow<ExplicitDag>, Q: ReadyQueue> DagExecutor<D, Q> {
+    /// Creates an executor at the start of the job: all sources ready.
+    pub fn new(dag_handle: D) -> Self {
+        let dag = dag_handle.borrow();
+        let mut ready = Q::default();
+        for t in dag.sources() {
+            ready.push(t, dag.level(t));
+        }
+        let remaining_preds = (0..dag.num_tasks() as u32)
+            .map(|i| dag.in_degree(TaskId(i)))
+            .collect();
+        let completed_per_level = vec![0; dag.span() as usize];
+        Self {
+            dag: dag_handle,
+            remaining_preds,
+            ready,
+            completed_per_level,
+            completed: 0,
+            elapsed: 0,
+            batch: Vec::new(),
+        }
+    }
+
+    /// The dag being executed.
+    pub fn dag(&self) -> &ExplicitDag {
+        self.dag.borrow()
+    }
+
+    /// Number of currently ready tasks (the job's instantaneous
+    /// parallelism floor for the next step).
+    pub fn ready_tasks(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Tasks completed at each level since the job started.
+    pub fn completed_per_level(&self) -> &[u64] {
+        &self.completed_per_level
+    }
+
+    /// Executes a single time step with the given allotment; returns the
+    /// number of tasks completed in the step.
+    fn step(&mut self, allotment: u32) -> u64 {
+        let k = (allotment as usize).min(self.ready.len());
+        self.batch.clear();
+        for _ in 0..k {
+            // `len() >= k` guarantees the pops succeed.
+            let t = self.ready.pop().expect("queue length checked");
+            self.batch.push(t);
+        }
+        for i in 0..self.batch.len() {
+            let t = self.batch[i];
+            self.completed_per_level[self.dag.borrow().level(t) as usize] += 1;
+            for &s in self.dag.borrow().successors(t) {
+                let r = &mut self.remaining_preds[s.index()];
+                *r -= 1;
+                if *r == 0 {
+                    self.ready.push(s, self.dag.borrow().level(s));
+                }
+            }
+        }
+        let done = self.batch.len() as u64;
+        self.completed += done;
+        done
+    }
+}
+
+impl<D: Borrow<ExplicitDag>, Q: ReadyQueue> JobExecutor for DagExecutor<D, Q> {
+    fn run_quantum(&mut self, allotment: u32, steps: u64) -> QuantumStats {
+        let before = self.completed_per_level.clone();
+        let mut work = 0u64;
+        let mut steps_worked = 0u64;
+        if allotment > 0 {
+            for _ in 0..steps {
+                if self.is_complete() {
+                    break;
+                }
+                let done = self.step(allotment);
+                debug_assert!(done > 0, "a live job always has a ready task");
+                work += done;
+                steps_worked += 1;
+                self.elapsed += 1;
+            }
+        }
+        let span: f64 = self
+            .completed_per_level
+            .iter()
+            .zip(&before)
+            .zip(self.dag.borrow().level_sizes())
+            .map(|((now, was), &size)| (now - was) as f64 / size as f64)
+            .sum();
+        QuantumStats {
+            allotment,
+            quantum_len: steps,
+            steps_worked,
+            work,
+            span,
+            completed: self.is_complete(),
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.completed == self.dag.borrow().work()
+    }
+
+    fn total_work(&self) -> u64 {
+        self.dag.borrow().work()
+    }
+
+    fn total_span(&self) -> u64 {
+        self.dag.borrow().span()
+    }
+
+    fn completed_work(&self) -> u64 {
+        self.completed
+    }
+
+    fn elapsed_steps(&self) -> u64 {
+        self.elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abg_dag::generate::{chain, figure2_job, fork_join_diamond};
+
+    #[test]
+    fn chain_executes_serially_regardless_of_allotment() {
+        let d = chain(6);
+        let mut ex = BGreedyExecutor::new(&d);
+        let s = ex.run_quantum(8, 100);
+        assert_eq!(s.work, 6);
+        assert_eq!(s.steps_worked, 6);
+        assert!(s.completed);
+        assert!(!s.is_full());
+        assert_eq!(s.span, 6.0);
+        assert_eq!(s.average_parallelism(), Some(1.0));
+    }
+
+    #[test]
+    fn diamond_with_ample_processors_takes_span_steps() {
+        let d = fork_join_diamond(10);
+        let mut ex = BGreedyExecutor::new(&d);
+        let s = ex.run_quantum(64, 100);
+        assert_eq!(s.steps_worked, 3);
+        assert_eq!(s.work, 12);
+        assert_eq!(s.span, 3.0);
+    }
+
+    #[test]
+    fn diamond_with_one_processor_takes_work_steps() {
+        let d = fork_join_diamond(10);
+        let mut ex = GreedyExecutor::new(&d);
+        let s = ex.run_quantum(1, 1000);
+        assert_eq!(s.steps_worked, 12);
+        assert_eq!(s.work, 12);
+    }
+
+    #[test]
+    fn figure2_quantum_statistics() {
+        // Reproduces the paper's Figure 2 numbers: after a warm-up that
+        // completes the source and one chain head, a 3-step quantum with
+        // allotment 4 yields T1(q) = 12, T∞(q) = 2.4, A(q) = 5.
+        let d = figure2_job();
+        let mut ex = BGreedyExecutor::new(&d);
+        let warmup = ex.run_quantum(1, 2);
+        assert_eq!(warmup.work, 2);
+        let q = ex.run_quantum(4, 3);
+        assert_eq!(q.work, 12);
+        assert!((q.span - 2.4).abs() < 1e-12, "span = {}", q.span);
+        assert_eq!(q.average_parallelism(), Some(5.0));
+        assert!(q.is_full());
+    }
+
+    #[test]
+    fn zero_allotment_quantum_is_a_noop() {
+        let d = chain(3);
+        let mut ex = BGreedyExecutor::new(&d);
+        let s = ex.run_quantum(0, 10);
+        assert_eq!(s.work, 0);
+        assert_eq!(s.steps_worked, 0);
+        assert_eq!(s.average_parallelism(), None);
+        assert!(!ex.is_complete());
+        assert_eq!(ex.elapsed_steps(), 0);
+    }
+
+    #[test]
+    fn quantum_spans_accumulate_to_total_span() {
+        let d = figure2_job();
+        let mut ex = BGreedyExecutor::new(&d);
+        let mut span = 0.0;
+        while !ex.is_complete() {
+            span += ex.run_quantum(2, 3).span;
+        }
+        assert!((span - d.span() as f64).abs() < 1e-9);
+        assert_eq!(ex.completed_work(), d.work());
+    }
+
+    #[test]
+    fn greedy_bound_holds() {
+        // Graham/Brent: T ≤ T1/a + T∞ for greedy on a fixed allotment.
+        for width in [1u32, 3, 7] {
+            for a in [1u32, 2, 5, 16] {
+                let d = fork_join_diamond(width);
+                let mut ex = BGreedyExecutor::new(&d);
+                let s = ex.run_quantum(a, u64::MAX);
+                let bound = (d.work() as f64 / a as f64) + d.span() as f64;
+                assert!(
+                    (s.steps_worked as f64) <= bound + 1e-9,
+                    "width {width} a {a}: T = {} > {bound}",
+                    s.steps_worked
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depth_first_still_completes_everything() {
+        let d = figure2_job();
+        let mut ex = DepthFirstExecutor::new(&d);
+        let s = ex.run_quantum(2, u64::MAX);
+        assert_eq!(s.work, d.work());
+        assert!(s.completed);
+    }
+
+    #[test]
+    fn successors_not_runnable_same_step() {
+        // Chain of 2 with allotment 2: the child must wait a step.
+        let d = chain(2);
+        let mut ex = BGreedyExecutor::new(&d);
+        let s = ex.run_quantum(2, 10);
+        assert_eq!(s.steps_worked, 2, "unit tasks cannot pipeline within a step");
+    }
+}

@@ -1,0 +1,227 @@
+//! Fast-forward executor for barrier-synchronous leveled jobs.
+//!
+//! On a [`LeveledJob`] only one level is ever ready (the barrier), so any
+//! greedy scheduler — B-Greedy included — executes
+//! `min(allotment, remaining-in-level)` tasks per step and crosses into
+//! the next level on the following step. That makes a whole quantum
+//! computable in `O(levels touched)` time with exact task-level fidelity,
+//! which is what lets the paper-scale sweeps (thousands of jobs with
+//! millions of tasks) run in seconds.
+
+use crate::quantum::QuantumStats;
+use crate::JobExecutor;
+use abg_dag::LeveledJob;
+
+/// Executor state over a [`LeveledJob`]: the current level and how many
+/// of its tasks have completed.
+#[derive(Debug, Clone)]
+pub struct LeveledExecutor {
+    job: LeveledJob,
+    level: usize,
+    done_in_level: u64,
+    completed: u64,
+    elapsed: u64,
+}
+
+impl LeveledExecutor {
+    /// Creates an executor at the start of the job.
+    pub fn new(job: LeveledJob) -> Self {
+        Self {
+            job,
+            level: 0,
+            done_in_level: 0,
+            completed: 0,
+            elapsed: 0,
+        }
+    }
+
+    /// The job being executed.
+    pub fn job(&self) -> &LeveledJob {
+        &self.job
+    }
+
+    /// Index of the level currently in progress (== `span` once done).
+    pub fn current_level(&self) -> usize {
+        self.level
+    }
+
+    /// Tasks completed within the current level.
+    pub fn done_in_level(&self) -> u64 {
+        self.done_in_level
+    }
+}
+
+impl JobExecutor for LeveledExecutor {
+    fn run_quantum(&mut self, allotment: u32, steps: u64) -> QuantumStats {
+        let mut work = 0u64;
+        let mut span = 0.0f64;
+        let mut steps_left = if allotment == 0 { 0 } else { steps };
+        let mut steps_worked = 0u64;
+        let a = allotment as u64;
+        let widths = self.job.widths();
+        while steps_left > 0 && self.level < widths.len() {
+            let width = widths[self.level];
+            let remaining = width - self.done_in_level;
+            // Steps to finish the level at `a` tasks per step.
+            let need = remaining.div_ceil(a);
+            if need <= steps_left {
+                work += remaining;
+                span += remaining as f64 / width as f64;
+                steps_left -= need;
+                steps_worked += need;
+                self.level += 1;
+                self.done_in_level = 0;
+            } else {
+                let executed = steps_left * a; // < remaining, so no spill
+                work += executed;
+                span += executed as f64 / width as f64;
+                self.done_in_level += executed;
+                steps_worked += steps_left;
+                steps_left = 0;
+            }
+        }
+        self.completed += work;
+        self.elapsed += steps_worked;
+        QuantumStats {
+            allotment,
+            quantum_len: steps,
+            steps_worked,
+            work,
+            span,
+            completed: self.is_complete(),
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.level >= self.job.widths().len()
+    }
+
+    fn total_work(&self) -> u64 {
+        self.job.work()
+    }
+
+    fn total_span(&self) -> u64 {
+        self.job.span()
+    }
+
+    fn completed_work(&self) -> u64 {
+        self.completed
+    }
+
+    fn elapsed_steps(&self) -> u64 {
+        self.elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::BGreedyExecutor;
+    use abg_dag::LeveledJob;
+
+    /// Runs the same quantum schedule through the fast path and through
+    /// the per-task executor on the lowered dag, asserting identical
+    /// statistics for every quantum.
+    fn assert_equivalent(job: LeveledJob, allotments: &[u32], quantum_len: u64) {
+        let explicit = job.to_explicit();
+        let mut fast = LeveledExecutor::new(job);
+        let mut slow = BGreedyExecutor::new(&explicit);
+        for (i, &a) in allotments.iter().enumerate() {
+            let f = fast.run_quantum(a, quantum_len);
+            let s = slow.run_quantum(a, quantum_len);
+            assert_eq!(f.work, s.work, "quantum {i}: work");
+            assert!((f.span - s.span).abs() < 1e-9, "quantum {i}: span {} vs {}", f.span, s.span);
+            assert_eq!(f.steps_worked, s.steps_worked, "quantum {i}: steps");
+            assert_eq!(f.completed, s.completed, "quantum {i}: completed");
+            if fast.is_complete() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn matches_per_task_executor_on_constant_job() {
+        assert_equivalent(LeveledJob::constant(7, 12), &[3; 20], 5);
+    }
+
+    #[test]
+    fn matches_per_task_executor_on_forkjoin_job() {
+        let job = LeveledJob::from_widths(vec![1, 1, 6, 6, 6, 1, 4, 4, 1, 1]);
+        for a in [1u32, 2, 3, 5, 8, 100] {
+            assert_equivalent(job.clone(), &[a; 40], 4);
+        }
+    }
+
+    #[test]
+    fn matches_with_varying_allotments() {
+        let job = LeveledJob::from_widths(vec![2, 5, 3, 8, 1, 9]);
+        assert_equivalent(job, &[1, 4, 2, 7, 3, 1, 6, 2, 9, 5], 3);
+    }
+
+    #[test]
+    fn ample_processors_one_level_per_step() {
+        let job = LeveledJob::from_widths(vec![4, 9, 2]);
+        let mut ex = LeveledExecutor::new(job);
+        let s = ex.run_quantum(100, 10);
+        assert_eq!(s.steps_worked, 3);
+        assert_eq!(s.work, 15);
+        assert_eq!(s.span, 3.0);
+        assert!(s.completed);
+    }
+
+    #[test]
+    fn partial_level_progress_is_fractional() {
+        let job = LeveledJob::from_widths(vec![10]);
+        let mut ex = LeveledExecutor::new(job);
+        let s = ex.run_quantum(2, 3);
+        assert_eq!(s.work, 6);
+        assert!((s.span - 0.6).abs() < 1e-12);
+        assert_eq!(ex.done_in_level(), 6);
+        assert_eq!(ex.current_level(), 0);
+    }
+
+    #[test]
+    fn level_finishing_step_does_not_spill_into_next_level() {
+        // Width 3 then 5, allotment 2: step 1 runs 2, step 2 runs the
+        // last 1 (not 1+1 from the next level — barrier).
+        let job = LeveledJob::from_widths(vec![3, 5]);
+        let mut ex = LeveledExecutor::new(job);
+        let s = ex.run_quantum(2, 2);
+        assert_eq!(s.work, 3);
+        assert_eq!(ex.current_level(), 1);
+        assert_eq!(ex.done_in_level(), 0);
+    }
+
+    #[test]
+    fn zero_allotment_is_noop() {
+        let job = LeveledJob::constant(3, 3);
+        let mut ex = LeveledExecutor::new(job);
+        let s = ex.run_quantum(0, 100);
+        assert_eq!(s.work, 0);
+        assert_eq!(s.steps_worked, 0);
+        assert!(!ex.is_complete());
+    }
+
+    #[test]
+    fn elapsed_and_completed_track_totals() {
+        let job = LeveledJob::constant(4, 6);
+        let mut ex = LeveledExecutor::new(job);
+        while !ex.is_complete() {
+            ex.run_quantum(2, 3);
+        }
+        assert_eq!(ex.completed_work(), 24);
+        assert_eq!(ex.elapsed_steps(), 12); // 2 steps per level × 6 levels
+    }
+
+    #[test]
+    fn quantum_parallelism_measures_job_parallelism() {
+        // Allotment below width: A(q) should still come out as the
+        // *job's* parallelism (width), not the allotment — this is the
+        // whole point of the fractional span measurement.
+        let job = LeveledJob::constant(10, 100);
+        let mut ex = LeveledExecutor::new(job);
+        let s = ex.run_quantum(2, 20);
+        // 20 steps × 2 = 40 tasks = 4 levels; span 4; A = 10.
+        assert_eq!(s.average_parallelism(), Some(10.0));
+    }
+}

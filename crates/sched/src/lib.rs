@@ -1,0 +1,74 @@
+//! Task schedulers for the ABG reproduction.
+//!
+//! In the paper's two-level framework, a *task scheduler* executes the
+//! ready tasks of a single job on whatever allotment the OS allocator
+//! granted for the quantum, and measures the statistics that drive the
+//! feedback loop (Section 2):
+//!
+//! * the **quantum work** `T1(q)` — tasks completed in quantum `q`,
+//! * the **quantum critical-path length** `T∞(q)` — the number of levels
+//!   the job advanced, where a partially completed level counts
+//!   fractionally (completed tasks / level size), and
+//! * the **quantum average parallelism** `A(q) = T1(q) / T∞(q)`.
+//!
+//! [`BGreedyExecutor`] implements the paper's B-Greedy: a greedy scheduler
+//! that gives priority to the ready task with the lowest level
+//! (breadth-first). [`GreedyExecutor`] (FIFO tie-breaking, no level
+//! priority) and [`DepthFirstExecutor`] (LIFO) are the baselines used to
+//! show why the breadth-first rule matters for measuring `A(q)`.
+//!
+//! [`LeveledExecutor`] is a fast-forward executor for barrier-synchronous
+//! [`abg_dag::LeveledJob`]s: one `O(1)` update per level touched instead
+//! of one per task. On such jobs every greedy scheduler behaves
+//! identically (only one level is ever ready), and the executor is
+//! bit-for-bit equivalent to running [`BGreedyExecutor`] on the lowered
+//! explicit dag — a property the test-suite checks.
+//!
+//! All executors share the [`JobExecutor`] interface consumed by the
+//! simulation engine in `abg-sim`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod leveled_exec;
+pub mod pipelined_exec;
+pub mod quantum;
+pub mod queue;
+
+pub use executor::{
+    BGreedyExecutor, DagExecutor, DepthFirstExecutor, GreedyExecutor, OwnedBGreedyExecutor,
+};
+pub use leveled_exec::LeveledExecutor;
+pub use pipelined_exec::PipelinedExecutor;
+pub use quantum::QuantumStats;
+pub use queue::{BreadthFirstQueue, FifoQueue, LifoQueue, ReadyQueue};
+
+/// A task scheduler bound to one job, executing it quantum by quantum.
+///
+/// `run_quantum(allotment, steps)` advances the job by up to `steps` time
+/// steps with `allotment` processors and returns the quantum statistics.
+/// If the job completes before the quantum ends, execution stops early and
+/// the returned [`QuantumStats::steps_worked`] reflects the shorter span;
+/// processor-hold accounting for the remainder of the quantum is the
+/// simulator's concern, not the executor's.
+pub trait JobExecutor {
+    /// Executes up to `steps` steps with `allotment` processors.
+    fn run_quantum(&mut self, allotment: u32, steps: u64) -> QuantumStats;
+
+    /// Whether every task of the job has completed.
+    fn is_complete(&self) -> bool;
+
+    /// Total work `T1` of the job.
+    fn total_work(&self) -> u64;
+
+    /// Total critical-path length `T∞` of the job.
+    fn total_span(&self) -> u64;
+
+    /// Tasks completed so far across all quanta.
+    fn completed_work(&self) -> u64;
+
+    /// Time steps executed so far across all quanta (steps in which at
+    /// least one task ran).
+    fn elapsed_steps(&self) -> u64;
+}

@@ -1,0 +1,242 @@
+//! Fast-forward executor for phase-structured pipelined jobs.
+//!
+//! Inside a width-`w` phase of a [`PhasedJob`] every live chain
+//! contributes exactly one ready task, so a greedy scheduler executes
+//! `min(a, w, remaining)` tasks per step; the breadth-first rule keeps
+//! the chains level-balanced, which makes the execution equivalent to
+//! consuming the phase's tasks in level-major order at that rate. That
+//! closed form lets a whole quantum be fast-forwarded in
+//! `O(phases touched)` while remaining step-exact — the test-suite
+//! checks bit-for-bit agreement with the per-task [`BGreedyExecutor`]
+//! on the lowered dag.
+//!
+//! [`BGreedyExecutor`]: crate::executor::BGreedyExecutor
+
+use crate::quantum::QuantumStats;
+use crate::JobExecutor;
+use abg_dag::PhasedJob;
+
+/// Executor state over a [`PhasedJob`]: the current phase and the
+/// level-major position within it.
+///
+/// ```
+/// use abg_dag::PhasedJob;
+/// use abg_sched::{JobExecutor, PipelinedExecutor};
+///
+/// // A constant-parallelism job: 10 chains, 100 levels.
+/// let mut ex = PipelinedExecutor::new(PhasedJob::constant(10, 100));
+/// // 20 steps at 7 processors: pipelining keeps all 7 busy, and the
+/// // fractional span measurement still reads the job's parallelism.
+/// let q = ex.run_quantum(7, 20);
+/// assert_eq!(q.work, 140);
+/// assert_eq!(q.average_parallelism(), Some(10.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelinedExecutor {
+    job: PhasedJob,
+    phase: usize,
+    /// Tasks of the current phase already completed (level-major count).
+    pos: u64,
+    completed: u64,
+    elapsed: u64,
+}
+
+impl PipelinedExecutor {
+    /// Creates an executor at the start of the job.
+    pub fn new(job: PhasedJob) -> Self {
+        Self {
+            job,
+            phase: 0,
+            pos: 0,
+            completed: 0,
+            elapsed: 0,
+        }
+    }
+
+    /// The job being executed.
+    pub fn job(&self) -> &PhasedJob {
+        &self.job
+    }
+
+    /// Index of the phase currently in progress (== number of phases
+    /// once complete).
+    pub fn current_phase(&self) -> usize {
+        self.phase
+    }
+}
+
+impl JobExecutor for PipelinedExecutor {
+    fn run_quantum(&mut self, allotment: u32, steps: u64) -> QuantumStats {
+        let mut work = 0u64;
+        let mut span = 0.0f64;
+        let mut steps_left = if allotment == 0 { 0 } else { steps };
+        let mut steps_worked = 0u64;
+        let a = allotment as u64;
+        let phases = self.job.phases();
+        while steps_left > 0 && self.phase < phases.len() {
+            let p = phases[self.phase];
+            let total = p.work();
+            let remaining = total - self.pos;
+            let rate = a.min(p.width);
+            let need = remaining.div_ceil(rate);
+            if need <= steps_left {
+                work += remaining;
+                span += remaining as f64 / p.width as f64;
+                steps_left -= need;
+                steps_worked += need;
+                self.phase += 1;
+                self.pos = 0;
+            } else {
+                let executed = steps_left * rate; // < remaining
+                work += executed;
+                span += executed as f64 / p.width as f64;
+                self.pos += executed;
+                steps_worked += steps_left;
+                steps_left = 0;
+            }
+        }
+        self.completed += work;
+        self.elapsed += steps_worked;
+        QuantumStats {
+            allotment,
+            quantum_len: steps,
+            steps_worked,
+            work,
+            span,
+            completed: self.is_complete(),
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.phase >= self.job.phases().len()
+    }
+
+    fn total_work(&self) -> u64 {
+        self.job.work()
+    }
+
+    fn total_span(&self) -> u64 {
+        self.job.span()
+    }
+
+    fn completed_work(&self) -> u64 {
+        self.completed
+    }
+
+    fn elapsed_steps(&self) -> u64 {
+        self.elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::BGreedyExecutor;
+    use abg_dag::{Phase, PhasedJob};
+
+    /// Runs the same quantum schedule through the fast path and the
+    /// per-task B-Greedy executor on the lowered dag; the quantum
+    /// statistics must agree exactly.
+    fn assert_equivalent(job: PhasedJob, allotments: &[u32], quantum_len: u64) {
+        let explicit = job.to_explicit();
+        let mut fast = PipelinedExecutor::new(job);
+        let mut slow = BGreedyExecutor::new(&explicit);
+        for (i, &a) in allotments.iter().enumerate() {
+            let f = fast.run_quantum(a, quantum_len);
+            let s = slow.run_quantum(a, quantum_len);
+            assert_eq!(f.work, s.work, "quantum {i}: work (a={a})");
+            assert!(
+                (f.span - s.span).abs() < 1e-9,
+                "quantum {i}: span {} vs {} (a={a})",
+                f.span,
+                s.span
+            );
+            assert_eq!(f.steps_worked, s.steps_worked, "quantum {i}: steps (a={a})");
+            assert_eq!(f.completed, s.completed, "quantum {i}: completed (a={a})");
+            if fast.is_complete() {
+                break;
+            }
+        }
+        assert_eq!(fast.is_complete(), slow.is_complete());
+    }
+
+    fn forkjoin() -> PhasedJob {
+        PhasedJob::new(vec![
+            Phase::new(1, 3),
+            Phase::new(6, 7),
+            Phase::new(1, 2),
+            Phase::new(4, 5),
+            Phase::new(1, 1),
+        ])
+    }
+
+    #[test]
+    fn matches_per_task_executor_across_allotments() {
+        for a in [1u32, 2, 3, 5, 7, 64] {
+            assert_equivalent(forkjoin(), &[a; 30], 4);
+        }
+    }
+
+    #[test]
+    fn matches_with_varying_allotments() {
+        assert_equivalent(forkjoin(), &[1, 5, 2, 9, 3, 1, 8, 2, 4, 6, 7, 1, 2], 3);
+    }
+
+    #[test]
+    fn matches_on_constant_job() {
+        assert_equivalent(PhasedJob::constant(8, 11), &[3; 40], 5);
+        assert_equivalent(PhasedJob::constant(8, 11), &[13; 10], 5);
+    }
+
+    #[test]
+    fn full_utilization_below_width() {
+        // Width 10, allotment 7: pipelining keeps all 7 busy — 70 tasks
+        // in 10 steps, no ceil losses.
+        let job = PhasedJob::constant(10, 100);
+        let mut ex = PipelinedExecutor::new(job);
+        let s = ex.run_quantum(7, 10);
+        assert_eq!(s.work, 70);
+        assert!((s.span - 7.0).abs() < 1e-12);
+        assert_eq!(s.average_parallelism(), Some(10.0));
+    }
+
+    #[test]
+    fn allotment_above_width_capped_by_parallelism() {
+        let job = PhasedJob::constant(10, 50);
+        let mut ex = PipelinedExecutor::new(job);
+        let s = ex.run_quantum(64, 20);
+        // One level per step: 10 tasks/step.
+        assert_eq!(s.work, 200);
+        assert_eq!(s.span, 20.0);
+    }
+
+    #[test]
+    fn phase_tail_does_not_spill_into_next_phase() {
+        // Phase of 3 tasks then a join: the join's successor starts the
+        // step after the phase completes.
+        let job = PhasedJob::new(vec![Phase::new(3, 1), Phase::new(1, 1)]);
+        let mut ex = PipelinedExecutor::new(job);
+        let s = ex.run_quantum(8, 10);
+        assert_eq!(s.steps_worked, 2);
+        assert!(s.completed);
+    }
+
+    #[test]
+    fn zero_allotment_is_noop() {
+        let mut ex = PipelinedExecutor::new(PhasedJob::constant(4, 4));
+        let s = ex.run_quantum(0, 100);
+        assert_eq!(s.work, 0);
+        assert!(!ex.is_complete());
+    }
+
+    #[test]
+    fn spans_accumulate_to_total() {
+        let mut ex = PipelinedExecutor::new(forkjoin());
+        let mut span = 0.0;
+        while !ex.is_complete() {
+            span += ex.run_quantum(3, 4).span;
+        }
+        assert!((span - ex.total_span() as f64).abs() < 1e-9);
+        assert_eq!(ex.completed_work(), ex.total_work());
+    }
+}

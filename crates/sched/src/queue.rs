@@ -1,0 +1,178 @@
+//! Ready-task queues encoding each greedy variant's priority rule.
+//!
+//! A greedy scheduler is fully determined by how it picks which ready
+//! tasks to run when more are ready than processors are allotted. The
+//! [`ReadyQueue`] trait captures that choice; the generic executor in
+//! [`crate::executor`] is parameterised over it.
+
+use abg_dag::{Level, TaskId};
+use std::collections::VecDeque;
+
+/// A container of ready tasks with a scheduler-specific pop order.
+pub trait ReadyQueue: Default {
+    /// Inserts a task that just became ready, along with its level.
+    fn push(&mut self, task: TaskId, level: Level);
+
+    /// Removes and returns the next task to execute, or `None` if empty.
+    fn pop(&mut self) -> Option<TaskId>;
+
+    /// Number of ready tasks.
+    fn len(&self) -> usize;
+
+    /// Whether no tasks are ready.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Breadth-first priority: always pops a ready task with the **lowest
+/// level** (the B-Greedy rule, Section 2). Ties within a level break in
+/// FIFO order.
+#[derive(Debug, Default)]
+pub struct BreadthFirstQueue {
+    buckets: Vec<VecDeque<TaskId>>,
+    /// Lower bound on the first non-empty bucket; monotonically advanced
+    /// by `pop`, reset by `push` when a lower level arrives (which cannot
+    /// happen on well-formed dags, but the structure stays correct).
+    cursor: usize,
+    len: usize,
+}
+
+impl ReadyQueue for BreadthFirstQueue {
+    fn push(&mut self, task: TaskId, level: Level) {
+        let l = level as usize;
+        if l >= self.buckets.len() {
+            self.buckets.resize_with(l + 1, VecDeque::new);
+        }
+        self.buckets[l].push_back(task);
+        self.cursor = self.cursor.min(l);
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<TaskId> {
+        while self.cursor < self.buckets.len() {
+            if let Some(t) = self.buckets[self.cursor].pop_front() {
+                self.len -= 1;
+                return Some(t);
+            }
+            self.cursor += 1;
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// Plain-greedy order: FIFO over readiness time, ignoring levels ("any
+/// `a(q)` ready tasks"). This is the unaugmented greedy scheduler of
+/// Graham [10] used as a measurement baseline.
+#[derive(Debug, Default)]
+pub struct FifoQueue {
+    queue: VecDeque<TaskId>,
+}
+
+impl ReadyQueue for FifoQueue {
+    fn push(&mut self, task: TaskId, _level: Level) {
+        self.queue.push_back(task);
+    }
+
+    fn pop(&mut self) -> Option<TaskId> {
+        self.queue.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Depth-first order: LIFO over readiness time, so the scheduler chases
+/// the most recently enabled chain. The antithesis of B-Greedy; included
+/// for the scheduler-strategy ablation.
+#[derive(Debug, Default)]
+pub struct LifoQueue {
+    stack: Vec<TaskId>,
+}
+
+impl ReadyQueue for LifoQueue {
+    fn push(&mut self, task: TaskId, _level: Level) {
+        self.stack.push(task);
+    }
+
+    fn pop(&mut self) -> Option<TaskId> {
+        self.stack.pop()
+    }
+
+    fn len(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TaskId {
+        TaskId(i)
+    }
+
+    #[test]
+    fn breadth_first_pops_lowest_level() {
+        let mut q = BreadthFirstQueue::default();
+        q.push(t(0), 2);
+        q.push(t(1), 0);
+        q.push(t(2), 1);
+        q.push(t(3), 0);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some(t(1)));
+        assert_eq!(q.pop(), Some(t(3)));
+        assert_eq!(q.pop(), Some(t(2)));
+        assert_eq!(q.pop(), Some(t(0)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn breadth_first_interleaved_push_pop() {
+        let mut q = BreadthFirstQueue::default();
+        q.push(t(0), 1);
+        assert_eq!(q.pop(), Some(t(0)));
+        // Cursor has advanced past level 0; a later push at level 0 must
+        // still be found first.
+        q.push(t(1), 3);
+        q.push(t(2), 0);
+        assert_eq!(q.pop(), Some(t(2)));
+        assert_eq!(q.pop(), Some(t(1)));
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = FifoQueue::default();
+        q.push(t(5), 9);
+        q.push(t(6), 0);
+        assert_eq!(q.pop(), Some(t(5)));
+        assert_eq!(q.pop(), Some(t(6)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn lifo_order() {
+        let mut q = LifoQueue::default();
+        q.push(t(5), 9);
+        q.push(t(6), 0);
+        assert_eq!(q.pop(), Some(t(6)));
+        assert_eq!(q.pop(), Some(t(5)));
+    }
+
+    #[test]
+    fn lengths_track_contents() {
+        let mut q = LifoQueue::default();
+        assert!(q.is_empty());
+        q.push(t(1), 0);
+        q.push(t(2), 0);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

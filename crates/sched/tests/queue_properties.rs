@@ -1,0 +1,106 @@
+//! Property tests for the ready-queue priority structures.
+
+use abg_dag::TaskId;
+use abg_sched::queue::{BreadthFirstQueue, FifoQueue, LifoQueue, ReadyQueue};
+use proptest::prelude::*;
+
+/// An interleaved push/pop script: `Some((id, level))` pushes, `None`
+/// pops.
+fn scripts() -> impl Strategy<Value = Vec<Option<(u32, u32)>>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => ((0u32..1000), (0u32..20)).prop_map(Some),
+            1 => Just(None),
+        ],
+        0..200,
+    )
+}
+
+fn run_script<Q: ReadyQueue>(queue: &mut Q, script: &[Option<(u32, u32)>]) -> Vec<u32> {
+    let mut popped = Vec::new();
+    for step in script {
+        match step {
+            Some((id, level)) => queue.push(TaskId(*id), *level),
+            None => {
+                if let Some(t) = queue.pop() {
+                    popped.push(t.0);
+                }
+            }
+        }
+    }
+    popped
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The breadth-first queue always pops a task of the minimum level
+    /// currently present, regardless of interleaving.
+    #[test]
+    fn breadth_first_always_pops_minimum_level(script in scripts()) {
+        let mut queue = BreadthFirstQueue::default();
+        // Shadow model: multiset of (level, id) currently enqueued.
+        let mut model: Vec<(u32, u32)> = Vec::new();
+        for step in &script {
+            match step {
+                Some((id, level)) => {
+                    queue.push(TaskId(*id), *level);
+                    model.push((*level, *id));
+                }
+                None => {
+                    let popped = queue.pop();
+                    match popped {
+                        Some(t) => {
+                            let min_level = model.iter().map(|(l, _)| *l).min()
+                                .expect("queue non-empty implies model non-empty");
+                            let idx = model.iter()
+                                .position(|&(l, id)| id == t.0 && l == min_level)
+                                .unwrap_or_else(|| panic!(
+                                    "popped {t} is not a minimum-level ({min_level}) task"));
+                            model.swap_remove(idx);
+                        }
+                        None => prop_assert!(model.is_empty()),
+                    }
+                }
+            }
+            prop_assert_eq!(queue.len(), model.len());
+        }
+    }
+
+    /// Conservation: across any script, every queue type pops exactly
+    /// the ids it was given (drain at the end and compare multisets).
+    #[test]
+    fn queues_conserve_tasks(script in scripts()) {
+        fn check<Q: ReadyQueue>(mut q: Q, script: &[Option<(u32, u32)>]) {
+            let mut popped = run_script(&mut q, script);
+            while let Some(t) = q.pop() {
+                popped.push(t.0);
+            }
+            let mut pushed: Vec<u32> =
+                script.iter().flatten().map(|(id, _)| *id).collect();
+            pushed.sort_unstable();
+            popped.sort_unstable();
+            assert_eq!(pushed, popped, "queue lost or duplicated tasks");
+        }
+        check(BreadthFirstQueue::default(), &script);
+        check(FifoQueue::default(), &script);
+        check(LifoQueue::default(), &script);
+    }
+
+    /// FIFO pops in push order; LIFO pops in reverse push order (when
+    /// pops happen only after all pushes).
+    #[test]
+    fn fifo_and_lifo_orders(ids in prop::collection::vec(0u32..1000, 0..64)) {
+        let mut fifo = FifoQueue::default();
+        let mut lifo = LifoQueue::default();
+        for &id in &ids {
+            fifo.push(TaskId(id), 0);
+            lifo.push(TaskId(id), 0);
+        }
+        let fifo_out: Vec<u32> = std::iter::from_fn(|| fifo.pop()).map(|t| t.0).collect();
+        let lifo_out: Vec<u32> = std::iter::from_fn(|| lifo.pop()).map(|t| t.0).collect();
+        prop_assert_eq!(&fifo_out, &ids);
+        let reversed: Vec<u32> = ids.iter().rev().copied().collect();
+        prop_assert_eq!(&lifo_out, &reversed);
+    }
+}

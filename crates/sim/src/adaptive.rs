@@ -1,0 +1,294 @@
+//! Adaptive quantum length — the paper's first future-work item
+//! (Section 9: "dynamically adjusting the quantum length and other
+//! parameters to achieve better system wide adaptivity").
+//!
+//! The quantum length trades reaction speed against reallocation
+//! overhead: short quanta track parallelism changes quickly but
+//! renegotiate processors constantly; long quanta amortize the
+//! renegotiation but stretch the one-quantum lag a feedback scheduler
+//! pays at every parallelism transition. A [`QuantumPolicy`] lets the
+//! engine pick each quantum's length online; [`AdaptiveQuantum`]
+//! implements the natural rule: lengthen while the request is stable,
+//! shrink as soon as it moves.
+
+use crate::single::{SingleJobConfig, SingleJobRun};
+use crate::trace::QuantumRecord;
+use abg_alloc::Allocator;
+use abg_control::RequestCalculator;
+use abg_sched::JobExecutor;
+use serde::{Deserialize, Serialize};
+
+/// Chooses the length of each scheduling quantum.
+pub trait QuantumPolicy {
+    /// Length of the first quantum.
+    fn initial_len(&self) -> u64;
+
+    /// Observes the quantum that just ended (its statistics plus the
+    /// standing request before and after the feedback update) and
+    /// returns the next quantum's length.
+    fn observe(&mut self, record: &QuantumRecord, next_request: f64) -> u64;
+}
+
+/// The conventional fixed-length quantum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedQuantum(pub u64);
+
+impl QuantumPolicy for FixedQuantum {
+    fn initial_len(&self) -> u64 {
+        self.0
+    }
+    fn observe(&mut self, _record: &QuantumRecord, _next_request: f64) -> u64 {
+        self.0
+    }
+}
+
+/// Multiplicative adaptive quantum sizing.
+///
+/// If the feedback update moved the request by less than
+/// `stability_band` (relative), the job's parallelism is steady and the
+/// quantum doubles (capped at `max`); otherwise it halves (floored at
+/// `min`). On a constant-parallelism job the steady-state quantum is
+/// `max`, cutting reallocation events by `max/min`; at every phase
+/// transition the quantum collapses to react quickly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveQuantum {
+    /// Smallest quantum length.
+    pub min: u64,
+    /// Largest quantum length.
+    pub max: u64,
+    /// Relative request-change threshold for "stable".
+    pub stability_band: f64,
+    len: u64,
+}
+
+impl AdaptiveQuantum {
+    /// Creates a policy starting from `min`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min ≤ max` and the band is positive.
+    pub fn new(min: u64, max: u64, stability_band: f64) -> Self {
+        assert!(min > 0 && min <= max, "need 0 < min ≤ max");
+        assert!(
+            stability_band > 0.0 && stability_band.is_finite(),
+            "stability band must be positive"
+        );
+        Self {
+            min,
+            max,
+            stability_band,
+            len: min,
+        }
+    }
+}
+
+impl QuantumPolicy for AdaptiveQuantum {
+    fn initial_len(&self) -> u64 {
+        self.len
+    }
+
+    fn observe(&mut self, record: &QuantumRecord, next_request: f64) -> u64 {
+        let prev = record.request.max(1.0);
+        let relative_change = (next_request - record.request).abs() / prev;
+        if relative_change <= self.stability_band {
+            self.len = (self.len * 2).min(self.max);
+        } else {
+            self.len = (self.len / 2).max(self.min);
+        }
+        self.len
+    }
+}
+
+/// Like [`crate::run_single_job`], but the quantum length follows a
+/// [`QuantumPolicy`]. Returns the run plus the number of quanta whose
+/// allotment differed from the previous one (a proxy for reallocation
+/// overhead, which the paper's simulations ignore but its motivation
+/// cares about).
+///
+/// # Panics
+///
+/// Panics if the policy's `max_quanta` safety valve (from `config`)
+/// trips.
+pub fn run_single_job_adaptive<E, C, A, Q>(
+    executor: &mut E,
+    calculator: &mut C,
+    allocator: &mut A,
+    policy: &mut Q,
+    config: SingleJobConfig,
+) -> (SingleJobRun, u64)
+where
+    E: JobExecutor,
+    C: RequestCalculator,
+    A: Allocator + Clone,
+    Q: QuantumPolicy,
+{
+    let mut request = calculator.initial_request();
+    let mut len = policy.initial_len();
+    let mut running_time = 0u64;
+    let mut waste = 0u64;
+    let mut quanta = 0u64;
+    let mut reallocations = 0u64;
+    let mut prev_allotment: Option<u32> = None;
+    let mut trace = Vec::new();
+
+    while !executor.is_complete() {
+        assert!(
+            quanta < config.max_quanta,
+            "job did not finish within {} quanta (livelock?)",
+            config.max_quanta
+        );
+        let allotment = allocator.allocate(&[request])[0];
+        if prev_allotment.is_some_and(|p| p != allotment) {
+            reallocations += 1;
+        }
+        prev_allotment = Some(allotment);
+        let stats = executor.run_quantum(allotment, len);
+        quanta += 1;
+        waste += stats.waste();
+        running_time += if stats.completed { stats.steps_worked } else { len };
+        let record = QuantumRecord {
+            index: quanta as u32,
+            start_step: running_time.saturating_sub(len),
+            request,
+            allotment,
+            availability: None,
+            stats,
+        };
+        request = calculator.observe(&stats);
+        len = policy.observe(&record, request);
+        if config.record_trace {
+            trace.push(record);
+        }
+    }
+
+    (
+        SingleJobRun {
+            running_time,
+            waste,
+            quanta,
+            reallocations,
+            work: executor.total_work(),
+            span: executor.total_span(),
+            trace,
+        },
+        reallocations,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abg_alloc::Scripted;
+    use abg_control::AControl;
+    use abg_dag::{Phase, PhasedJob};
+    use abg_sched::PipelinedExecutor;
+
+    fn forkjoin() -> PhasedJob {
+        PhasedJob::new(vec![
+            Phase::new(1, 100),
+            Phase::new(12, 600),
+            Phase::new(1, 100),
+            Phase::new(12, 600),
+            Phase::new(1, 100),
+        ])
+    }
+
+    #[test]
+    fn fixed_policy_reproduces_fixed_engine() {
+        let job = forkjoin();
+        let mut a = PipelinedExecutor::new(job.clone());
+        let mut c = AControl::new(0.2);
+        let mut al = Scripted::ample(64);
+        let fixed = crate::run_single_job(&mut a, &mut c, &mut al, SingleJobConfig::new(50));
+
+        let mut b = PipelinedExecutor::new(job);
+        let mut c2 = AControl::new(0.2);
+        let mut al2 = Scripted::ample(64);
+        let (adaptive, _) = run_single_job_adaptive(
+            &mut b,
+            &mut c2,
+            &mut al2,
+            &mut FixedQuantum(50),
+            SingleJobConfig::new(50),
+        );
+        assert_eq!(fixed.running_time, adaptive.running_time);
+        assert_eq!(fixed.waste, adaptive.waste);
+        assert_eq!(fixed.quanta, adaptive.quanta);
+    }
+
+    #[test]
+    fn adaptive_policy_uses_fewer_quanta_on_stable_jobs() {
+        let job = PhasedJob::constant(8, 4000);
+        let run_with = |adaptive: bool| {
+            let mut ex = PipelinedExecutor::new(job.clone());
+            let mut c = AControl::new(0.2);
+            let mut al = Scripted::ample(64);
+            if adaptive {
+                let mut p = AdaptiveQuantum::new(25, 400, 0.05);
+                run_single_job_adaptive(&mut ex, &mut c, &mut al, &mut p, SingleJobConfig::new(25))
+            } else {
+                let mut p = FixedQuantum(25);
+                run_single_job_adaptive(&mut ex, &mut c, &mut al, &mut p, SingleJobConfig::new(25))
+            }
+        };
+        let (fixed_run, _) = run_with(false);
+        let (adaptive_run, _) = run_with(true);
+        assert!(
+            adaptive_run.quanta * 2 < fixed_run.quanta,
+            "adaptive {} quanta vs fixed {}",
+            adaptive_run.quanta,
+            fixed_run.quanta
+        );
+        // And it must not meaningfully slow the job down.
+        assert!(adaptive_run.running_time as f64 <= fixed_run.running_time as f64 * 1.2);
+    }
+
+    #[test]
+    fn adaptive_policy_shrinks_on_transitions() {
+        let mut p = AdaptiveQuantum::new(10, 160, 0.05);
+        let record = |request: f64| QuantumRecord {
+            index: 1,
+            start_step: 0,
+            request,
+            allotment: 8,
+            availability: None,
+            stats: abg_sched::QuantumStats {
+                allotment: 8,
+                quantum_len: 10,
+                steps_worked: 10,
+                work: 80,
+                span: 10.0,
+                completed: false,
+            },
+        };
+        // Stable feedback: grows 10 -> 20 -> 40.
+        assert_eq!(p.observe(&record(8.0), 8.0), 20);
+        assert_eq!(p.observe(&record(8.0), 8.1), 40);
+        // A big request move: collapses 40 -> 20 -> 10 -> 10.
+        assert_eq!(p.observe(&record(8.0), 2.0), 20);
+        assert_eq!(p.observe(&record(2.0), 8.0), 10);
+        assert_eq!(p.observe(&record(8.0), 2.0), 10);
+    }
+
+    #[test]
+    fn reallocation_count_tracks_allotment_changes() {
+        let job = PhasedJob::constant(4, 200);
+        let mut ex = PipelinedExecutor::new(job);
+        let mut c = AControl::new(0.0); // one-step convergence: 1 then 4
+        let mut al = Scripted::ample(16);
+        let (_, reallocs) = run_single_job_adaptive(
+            &mut ex,
+            &mut c,
+            &mut al,
+            &mut FixedQuantum(20),
+            SingleJobConfig::new(20),
+        );
+        assert_eq!(reallocs, 1, "only the 1 -> 4 jump changes the allotment");
+    }
+
+    #[test]
+    #[should_panic(expected = "min ≤ max")]
+    fn bad_bounds_rejected() {
+        let _ = AdaptiveQuantum::new(100, 10, 0.05);
+    }
+}

@@ -1,0 +1,38 @@
+//! Discrete-time simulation engine for the ABG reproduction.
+//!
+//! The simulator realises the paper's two-level scheduling framework:
+//! time advances in unit steps grouped into quanta of `L` steps; at every
+//! quantum boundary each live job's request calculator reports `d(q)` to
+//! the OS allocator, the allocator grants allotments `a(q)`, and each
+//! job's task scheduler runs the quantum and measures its statistics.
+//!
+//! Two entry points cover the paper's two simulation sets:
+//!
+//! * [`run_single_job`] — one job alone on the machine (Figures 1, 4, 5
+//!   and the trim-analysis experiments), with optional per-quantum
+//!   tracing;
+//! * [`MultiJobSim`] — a job set space-sharing the machine through a
+//!   shared allocator such as DEQ (Figure 6), with release times and
+//!   global metrics (makespan, mean response time).
+//!
+//! [`trim`] implements the paper's trim analysis (Section 6.1),
+//! [`metrics`] the derived per-run measurements, and [`adaptive`] the
+//! quantum-length policies of the paper's future-work section (plus the
+//! reallocation-overhead accounting its motivation calls for).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod metrics;
+pub mod multi;
+pub mod single;
+pub mod trace;
+pub mod trim;
+
+pub use adaptive::{run_single_job_adaptive, AdaptiveQuantum, FixedQuantum, QuantumPolicy};
+pub use metrics::{JobMetrics, QuantumClass};
+pub use multi::{JobOutcome, MultiJobOutcome, MultiJobSim};
+pub use single::{run_single_job, SingleJobConfig, SingleJobRun};
+pub use trace::{trace_to_csv, QuantumRecord};
+pub use trim::trimmed_availability;

@@ -1,0 +1,113 @@
+//! Trim analysis (Section 6.1).
+//!
+//! An adversarial OS allocator can offer many processors exactly when a
+//! job's parallelism is low, denying any non-clairvoyant task scheduler
+//! linear speedup with respect to the *mean* availability. Trim analysis
+//! bounds the adversary's power: discard ("trim") the `R` time steps
+//! with the highest processor availability and measure speedup against
+//! the average availability of the remaining steps — the **`R`-trimmed
+//! availability**.
+//!
+//! Theorem 3 states ABG completes in
+//! `T ≤ 2·T1/P̃ + (C_L + 1 − 2r)/(1 − r)·T∞ + L`
+//! where `P̃` is the `((C_L + 1 − 2r)/(1 − r)·T∞ + L)`-trimmed
+//! availability.
+
+/// Computes the `R`-trimmed availability from per-quantum availabilities.
+///
+/// Availability is constant within a quantum of `quantum_len` steps, so
+/// trimming `trim_steps` steps means discarding the
+/// `ceil(trim_steps / quantum_len)` quanta with the highest availability
+/// and averaging what remains. Returns `None` when every quantum is
+/// trimmed (the bound is vacuous there).
+///
+/// ```
+/// use abg_sim::trimmed_availability;
+///
+/// // An adversary that is generous exactly once.
+/// let availability = [2, 2, 100, 2, 2];
+/// assert_eq!(trimmed_availability(&availability, 10, 0), Some(21.6));
+/// // Trimming one quantum's worth of steps removes the spike.
+/// assert_eq!(trimmed_availability(&availability, 10, 10), Some(2.0));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `quantum_len == 0`.
+pub fn trimmed_availability(
+    availabilities: &[u32],
+    quantum_len: u64,
+    trim_steps: u64,
+) -> Option<f64> {
+    assert!(quantum_len > 0, "quantum length must be positive");
+    if availabilities.is_empty() {
+        return None;
+    }
+    let trim_quanta = (trim_steps.div_ceil(quantum_len)) as usize;
+    if trim_quanta >= availabilities.len() {
+        return None;
+    }
+    let mut sorted: Vec<u32> = availabilities.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a)); // descending
+    let kept = &sorted[trim_quanta..];
+    Some(kept.iter().map(|&p| p as f64).sum::<f64>() / kept.len() as f64)
+}
+
+/// The untrimmed mean availability (the `R = 0` special case).
+pub fn mean_availability(availabilities: &[u32]) -> Option<f64> {
+    trimmed_availability(availabilities, 1, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_trim_is_plain_mean() {
+        let a = [2, 4, 6];
+        assert_eq!(trimmed_availability(&a, 10, 0), Some(4.0));
+        assert_eq!(mean_availability(&a), Some(4.0));
+    }
+
+    #[test]
+    fn trims_highest_quanta_first() {
+        let a = [1, 100, 1, 100, 1];
+        // Trim up to 2 quanta worth of steps: both 100s go.
+        assert_eq!(trimmed_availability(&a, 10, 20), Some(1.0));
+    }
+
+    #[test]
+    fn partial_quantum_trims_whole_quantum() {
+        let a = [1, 100, 1];
+        // 5 steps with L = 10 still rounds up to one quantum.
+        assert_eq!(trimmed_availability(&a, 10, 5), Some(1.0));
+    }
+
+    #[test]
+    fn trimming_everything_is_vacuous() {
+        let a = [5, 5];
+        assert_eq!(trimmed_availability(&a, 10, 20), None);
+        assert_eq!(trimmed_availability(&[], 10, 0), None);
+    }
+
+    #[test]
+    fn trimmed_is_never_above_untrimmed_mean_quantile() {
+        let a = [3, 9, 4, 8, 2, 7];
+        let untrimmed = trimmed_availability(&a, 10, 0).unwrap();
+        let trimmed = trimmed_availability(&a, 10, 10).unwrap();
+        assert!(trimmed <= untrimmed);
+    }
+
+    #[test]
+    fn adversarial_spike_is_neutralised() {
+        // Availability spikes to 1000 in one quantum of a hundred
+        // otherwise-austere quanta: the spike distorts the mean but not
+        // the 1-quantum-trimmed availability.
+        let mut a = vec![2u32; 100];
+        a[50] = 1000;
+        let mean = mean_availability(&a).unwrap();
+        let trimmed = trimmed_availability(&a, 10, 10).unwrap();
+        assert!(mean > 11.0);
+        assert_eq!(trimmed, 2.0);
+    }
+}

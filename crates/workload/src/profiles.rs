@@ -1,0 +1,158 @@
+//! Irregular parallelism profiles — beyond fork-join.
+//!
+//! The paper's evaluation sticks to alternating serial/parallel
+//! fork-join jobs, but its future-work section (Section 9) asks how
+//! *other* characteristics of the parallelism profile — the frequency
+//! of change, the variance — affect adaptive schedulers. These
+//! generators produce jobs whose profiles are random walks, bursts and
+//! ramps, for the robustness experiment that answers that question.
+
+use abg_dag::{Phase, PhasedJob};
+use rand::{Rng, RngExt as _};
+
+/// A job whose phase widths follow a bounded multiplicative random
+/// walk: each phase's width is the previous width scaled by a factor in
+/// `[1/step, step]`, clamped to `[1, max_width]`.
+///
+/// # Panics
+///
+/// Panics if `phases == 0`, `levels_per_phase == 0`, `max_width == 0`
+/// or `step <= 1.0`.
+pub fn random_walk_job<R: Rng + ?Sized>(
+    phases: u64,
+    levels_per_phase: u64,
+    max_width: u64,
+    step: f64,
+    rng: &mut R,
+) -> PhasedJob {
+    assert!(phases > 0 && levels_per_phase > 0 && max_width > 0);
+    assert!(step > 1.0 && step.is_finite(), "walk step must exceed 1");
+    let mut width = 1.0f64;
+    let list: Vec<Phase> = (0..phases)
+        .map(|_| {
+            let factor = step.powf(rng.random_range(-1.0..=1.0));
+            width = (width * factor).clamp(1.0, max_width as f64);
+            Phase::new(width.round() as u64, levels_per_phase)
+        })
+        .collect();
+    PhasedJob::new(list)
+}
+
+/// A bursty job: serial almost everywhere, with occasional short spikes
+/// of `spike_width` parallelism (probability `spike_prob` per phase).
+///
+/// Bursty profiles are the worst case for slow-reacting feedback: by
+/// the time a controller ramps up, the burst is gone.
+///
+/// # Panics
+///
+/// Panics on zero sizes or a probability outside `[0, 1]`.
+pub fn bursty_job<R: Rng + ?Sized>(
+    phases: u64,
+    levels_per_phase: u64,
+    spike_width: u64,
+    spike_prob: f64,
+    rng: &mut R,
+) -> PhasedJob {
+    assert!(phases > 0 && levels_per_phase > 0 && spike_width > 0);
+    assert!((0.0..=1.0).contains(&spike_prob), "probability in [0, 1]");
+    let list: Vec<Phase> = (0..phases)
+        .map(|_| {
+            if rng.random_bool(spike_prob) {
+                Phase::new(spike_width, levels_per_phase)
+            } else {
+                Phase::new(1, levels_per_phase)
+            }
+        })
+        .collect();
+    PhasedJob::new(list)
+}
+
+/// A ramp: parallelism grows linearly from 1 to `peak` across `phases`
+/// phases, then falls back symmetrically — a smooth profile with many
+/// small transitions (high change frequency, low per-step variance).
+///
+/// # Panics
+///
+/// Panics on zero sizes.
+pub fn ramp_job(phases: u64, levels_per_phase: u64, peak: u64) -> PhasedJob {
+    assert!(phases > 0 && levels_per_phase > 0 && peak > 0);
+    let up: Vec<Phase> = (0..phases)
+        .map(|i| {
+            let w = 1 + (peak - 1) * i / phases.max(1);
+            Phase::new(w.max(1), levels_per_phase)
+        })
+        .collect();
+    let mut list = up.clone();
+    list.push(Phase::new(peak, levels_per_phase));
+    list.extend(up.into_iter().rev());
+    PhasedJob::new(list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abg_dag::JobStructure;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_walk_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let job = random_walk_job(40, 3, 16, 2.0, &mut rng);
+        assert_eq!(job.phases().len(), 40);
+        for p in job.phases() {
+            assert!((1..=16).contains(&p.width));
+            assert_eq!(p.levels, 3);
+        }
+        // A walk actually moves.
+        let widths: std::collections::HashSet<u64> =
+            job.phases().iter().map(|p| p.width).collect();
+        assert!(widths.len() > 2, "walk stuck: {widths:?}");
+    }
+
+    #[test]
+    fn bursty_is_mostly_serial() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let job = bursty_job(100, 2, 32, 0.1, &mut rng);
+        let spikes = job.phases().iter().filter(|p| p.width == 32).count();
+        let serial = job.phases().iter().filter(|p| p.width == 1).count();
+        assert_eq!(spikes + serial, 100);
+        assert!((2..=30).contains(&spikes), "spike count {spikes}");
+    }
+
+    #[test]
+    fn ramp_is_symmetric_with_peak() {
+        let job = ramp_job(8, 2, 10);
+        let widths: Vec<u64> = job.phases().iter().map(|p| p.width).collect();
+        assert_eq!(widths.len(), 17);
+        assert_eq!(widths[8], 10, "peak in the middle");
+        assert_eq!(widths[0], *widths.last().unwrap());
+        // Non-decreasing up, non-increasing down.
+        assert!(widths[..9].windows(2).all(|w| w[0] <= w[1]));
+        assert!(widths[8..].windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn profiles_have_distinct_characteristics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bursty = bursty_job(60, 4, 32, 0.08, &mut rng);
+        let ramp = ramp_job(16, 4, 32);
+        // Bursty: few but violent changes; ramp: many gentle ones.
+        let b = bursty.profile();
+        let r = ramp.profile();
+        assert!(
+            b.coefficient_of_variation() > r.coefficient_of_variation(),
+            "bursty CV {} should exceed ramp CV {}",
+            b.coefficient_of_variation(),
+            r.coefficient_of_variation()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "walk step")]
+    fn random_walk_step_must_exceed_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = random_walk_job(4, 1, 8, 1.0, &mut rng);
+    }
+}

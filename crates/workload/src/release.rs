@@ -1,0 +1,102 @@
+//! Release (arrival) schedules for job sets.
+
+use rand::{Rng, RngExt as _};
+use serde::{Deserialize, Serialize};
+
+/// How the jobs of a set arrive.
+///
+/// The paper's Theorem 5 bounds the makespan for *arbitrary* release
+/// times and the mean response time for *batched* sets (all jobs
+/// released together); the simulations of Figure 6 use both regimes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReleaseSchedule {
+    /// All jobs released at step 0.
+    Batched,
+    /// Release times drawn uniformly from `[0, horizon]`.
+    Uniform {
+        /// Latest possible release step.
+        horizon: u64,
+    },
+    /// Poisson arrivals with the given mean inter-arrival gap in steps
+    /// (exponential gaps, one job after another).
+    Poisson {
+        /// Mean inter-arrival time in steps.
+        mean_gap: f64,
+    },
+}
+
+impl ReleaseSchedule {
+    /// Samples release times for `n` jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Poisson` schedule has a non-positive or non-finite
+    /// mean gap.
+    pub fn sample<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<u64> {
+        match *self {
+            ReleaseSchedule::Batched => vec![0; n],
+            ReleaseSchedule::Uniform { horizon } => {
+                (0..n).map(|_| rng.random_range(0..=horizon)).collect()
+            }
+            ReleaseSchedule::Poisson { mean_gap } => {
+                assert!(
+                    mean_gap.is_finite() && mean_gap > 0.0,
+                    "mean inter-arrival gap must be positive, got {mean_gap}"
+                );
+                let mut t = 0.0f64;
+                (0..n)
+                    .map(|_| {
+                        // Inverse-CDF exponential sampling; the `1 - u`
+                        // guard keeps ln() finite.
+                        let u: f64 = rng.random();
+                        t += -mean_gap * (1.0 - u).ln();
+                        t as u64
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batched_is_all_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(ReleaseSchedule::Batched.sample(4, &mut rng), vec![0; 4]);
+    }
+
+    #[test]
+    fn uniform_stays_in_horizon() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = ReleaseSchedule::Uniform { horizon: 100 }.sample(64, &mut rng);
+        assert!(r.iter().all(|&t| t <= 100));
+        assert!(r.iter().any(|&t| t > 0), "should not all be zero");
+    }
+
+    #[test]
+    fn poisson_is_nondecreasing_with_sane_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = ReleaseSchedule::Poisson { mean_gap: 50.0 }.sample(200, &mut rng);
+        assert!(r.windows(2).all(|w| w[0] <= w[1]));
+        let mean_gap = *r.last().unwrap() as f64 / r.len() as f64;
+        assert!((20.0..100.0).contains(&mean_gap), "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn zero_jobs_yield_empty_schedule() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(ReleaseSchedule::Batched.sample(0, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn poisson_rejects_zero_gap() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = ReleaseSchedule::Poisson { mean_gap: 0.0 }.sample(1, &mut rng);
+    }
+}

@@ -1,0 +1,83 @@
+//! Trim analysis in action: an adversarial OS allocator that floods the
+//! job with processors exactly when its parallelism is low, and the
+//! Theorem-3 guarantee that survives it.
+//!
+//! ```text
+//! cargo run --release --example adversarial_allocator
+//! ```
+
+use abg::bounds;
+use abg::prelude::*;
+use abg_sim::trimmed_availability;
+
+fn main() {
+    // A job alternating serial and 16-wide phases.
+    let job = PhasedJob::new(vec![
+        Phase::new(1, 50),
+        Phase::new(16, 200),
+        Phase::new(1, 50),
+        Phase::new(16, 200),
+        Phase::new(1, 50),
+    ]);
+    let quantum_len = 50u64;
+    let rate = 0.2;
+
+    // The adversary: austere most of the time, generous in bursts —
+    // engineered to tempt naive speedup accounting.
+    let script: Vec<u32> = (0..32)
+        .map(|i| if i % 8 == 0 { 64 } else { 2 + (i % 3) })
+        .collect();
+    let mut allocator = Scripted::cycling(64, script);
+
+    let mut executor = PipelinedExecutor::new(job.clone());
+    let mut controller = AControl::new(rate);
+    let run = run_single_job(
+        &mut executor,
+        &mut controller,
+        &mut allocator,
+        SingleJobConfig::new(quantum_len).with_trace(),
+    );
+
+    let availabilities: Vec<u32> = run
+        .trace
+        .iter()
+        .map(|r| r.availability.expect("traced"))
+        .collect();
+    let naive_mean = availabilities.iter().map(|&p| p as f64).sum::<f64>()
+        / availabilities.len() as f64;
+
+    // Measure the transition factor this schedule actually exhibited.
+    let c_l = {
+        let mut prev = 1.0f64;
+        let mut c = 1.0f64;
+        for r in run.trace.iter().filter(|r| r.stats.is_full()) {
+            if let Some(a) = r.stats.average_parallelism() {
+                c = c.max(if a > prev { a / prev } else { prev / a });
+                prev = a;
+            }
+        }
+        c
+    };
+
+    let trim_steps = bounds::theorem3_trim_steps(run.span, c_l, rate, quantum_len);
+    let p_trimmed = trimmed_availability(&availabilities, quantum_len, trim_steps.ceil() as u64)
+        .unwrap_or(1.0);
+    let bound = bounds::theorem3_time_bound(run.work, run.span, c_l, rate, p_trimmed, quantum_len);
+
+    println!("job: T1 = {}, T∞ = {}, measured C_L = {:.1}", run.work, run.span, c_l);
+    println!("adversarial availability: mean {naive_mean:.1} processors/quantum");
+    println!(
+        "  …but the {:.0}-step-trimmed availability is only {:.2} processors",
+        trim_steps, p_trimmed
+    );
+    println!();
+    println!("running time:        {:>8} steps", run.running_time);
+    println!("Theorem-3 bound:     {:>8.0} steps  (2·T1/P̃ + (C_L+1-2r)/(1-r)·T∞ + L)", bound);
+    println!(
+        "naive 'bound' using the untrimmed mean would be {:.0} steps — the\n\
+         adversary's generosity bursts make it unobtainable; trim analysis\n\
+         charges the adversary for them instead.",
+        2.0 * run.work as f64 / naive_mean + run.span as f64
+    );
+    assert!((run.running_time as f64) <= bound, "Theorem 3 must hold");
+}

@@ -1,0 +1,79 @@
+//! Scheduling an irregular dag built by hand, and why B-Greedy's
+//! breadth-first rule matters for the parallelism measurement.
+//!
+//! ```text
+//! cargo run --release --example custom_dag
+//! ```
+//!
+//! Recreates the paper's Figure-2 scenario (fractional quantum
+//! statistics) and then compares the quantum parallelism measured by
+//! B-Greedy against a depth-first greedy scheduler on the same dag.
+
+use abg::prelude::*;
+
+fn main() {
+    // ── Figure 2: one source forking into five 3-task chains. ──────
+    let dag = abg_dag::generate::figure2_job();
+    println!("Figure-2 job ({} tasks, {} levels):", dag.work(), dag.span());
+    println!("{}", dag.to_dot("figure2"));
+
+    let mut ex = BGreedyExecutor::new(&dag);
+    let warmup = ex.run_quantum(1, 2);
+    println!(
+        "warm-up (a=1, 2 steps):   T1 = {:>2}, T∞ = {:.1}",
+        warmup.work, warmup.span
+    );
+    let q = ex.run_quantum(4, 3);
+    println!(
+        "measured (a=4, 3 steps):  T1(q) = {}, T∞(q) = {}, A(q) = {}",
+        q.work,
+        q.span,
+        q.average_parallelism().expect("work was done")
+    );
+    println!("paper's Figure 2:         T1(q) = 12, T∞(q) = 2.4, A(q) = 5\n");
+
+    // ── A hand-built irregular dag. ─────────────────────────────────
+    // diamond of diamonds: a -> {b1..b4} -> c -> {d1..d6} -> e
+    let mut b = DagBuilder::new();
+    let a = b.add_task();
+    let bs: Vec<TaskId> = (0..4).map(|_| b.add_task()).collect();
+    let c = b.add_task();
+    let ds: Vec<TaskId> = (0..6).map(|_| b.add_task()).collect();
+    let e = b.add_task();
+    for &x in &bs {
+        b.add_edge(a, x).unwrap();
+        b.add_edge(x, c).unwrap();
+    }
+    for &x in &ds {
+        b.add_edge(c, x).unwrap();
+        b.add_edge(x, e).unwrap();
+    }
+    let dag = b.build().expect("acyclic by construction");
+    println!(
+        "hand-built dag: {} tasks, span {}, level sizes {:?}",
+        dag.work(),
+        dag.span(),
+        dag.level_sizes()
+    );
+
+    // Same dag, same allotment, two priority rules.
+    let mut breadth = BGreedyExecutor::new(&dag);
+    let mut depth = DepthFirstExecutor::new(&dag);
+    let sb = breadth.run_quantum(3, 100);
+    let sd = depth.run_quantum(3, 100);
+    println!(
+        "breadth-first: finished in {} steps, measured A = {:.2}",
+        sb.steps_worked,
+        sb.average_parallelism().unwrap()
+    );
+    println!(
+        "depth-first:   finished in {} steps, measured A = {:.2}",
+        sd.steps_worked,
+        sd.average_parallelism().unwrap()
+    );
+    println!(
+        "\nboth complete the dag (greedy bound T ≤ T1/a + T∞ holds for each),\n\
+         but B-Greedy's level-by-level progress is what makes the fractional\n\
+         T∞(q) measurement — and hence the feedback signal A(q) — faithful."
+    );
+}

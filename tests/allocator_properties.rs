@@ -1,0 +1,95 @@
+//! Property tests for the OS allocators: the universal contract
+//! (conservative, within capacity) for every policy, plus the fairness
+//! and non-reserving properties DEQ claims.
+
+use abg_alloc::invariants::{is_fair, is_non_reserving, validate};
+use abg_alloc::{Allocator, DynamicEquiPartition, Proportional, RoundRobin, Scripted};
+use proptest::prelude::*;
+
+fn request_vectors() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(0.0),
+            (1u32..200).prop_map(|x| x as f64),
+            (1u32..2000).prop_map(|x| x as f64 / 10.0),
+        ],
+        0..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// DEQ: conservative, within capacity, non-reserving, and fair —
+    /// on any request vector, repeatedly (the rotation state must not
+    /// break any invariant).
+    #[test]
+    fn deq_full_contract(reqs in request_vectors(), p in 1u32..200, rounds in 1usize..4) {
+        let mut alloc = DynamicEquiPartition::new(p);
+        for _ in 0..rounds {
+            let a = alloc.allocate(&reqs);
+            prop_assert_eq!(validate(&reqs, &a, p), Ok(()));
+            prop_assert!(is_non_reserving(&reqs, &a, p),
+                "DEQ left processors idle: {:?} -> {:?} on {}", reqs, a, p);
+            prop_assert!(is_fair(&reqs, &a),
+                "DEQ unfair: {:?} -> {:?}", reqs, a);
+        }
+    }
+
+    /// DEQ availability probes: `a_i = min(ceil(d_i), p_i)` when probed
+    /// before allocating, and probing does not disturb the allocation.
+    #[test]
+    fn deq_availability_consistent(reqs in request_vectors(), p in 1u32..100) {
+        let mut with_probe = DynamicEquiPartition::new(p);
+        let mut without = DynamicEquiPartition::new(p);
+        let avail = with_probe.availabilities(&reqs);
+        let a1 = with_probe.allocate(&reqs);
+        let a2 = without.allocate(&reqs);
+        prop_assert_eq!(&a1, &a2, "probing must not disturb the policy");
+        for i in 0..reqs.len() {
+            let cap = abg_alloc::ceil_request(reqs[i]);
+            prop_assert_eq!(a1[i], cap.min(avail[i]),
+                "job {}: a={} cap={} p={}", i, a1[i], cap, avail[i]);
+        }
+    }
+
+    /// Round-robin: conservative, within capacity, fair — but allowed
+    /// to reserve.
+    #[test]
+    fn round_robin_contract(reqs in request_vectors(), p in 1u32..200) {
+        let mut alloc = RoundRobin::new(p);
+        let a = alloc.allocate(&reqs);
+        prop_assert_eq!(validate(&reqs, &a, p), Ok(()));
+        prop_assert!(is_fair(&reqs, &a));
+    }
+
+    /// Proportional: conservative, within capacity, non-reserving.
+    #[test]
+    fn proportional_contract(reqs in request_vectors(), p in 1u32..200) {
+        let mut alloc = Proportional::new(p);
+        let a = alloc.allocate(&reqs);
+        prop_assert_eq!(validate(&reqs, &a, p), Ok(()));
+        prop_assert!(is_non_reserving(&reqs, &a, p),
+            "proportional left processors idle: {:?} -> {:?} on {}", reqs, a, p);
+    }
+
+    /// Scripted: conservative and bounded by the scripted availability.
+    #[test]
+    fn scripted_contract(req in 0f64..500.0, script in prop::collection::vec(0u32..64, 1..8)) {
+        let p = 64;
+        let mut alloc = Scripted::cycling(p, script.clone());
+        for q in 0..script.len() * 2 {
+            let a = alloc.allocate(&[req]);
+            prop_assert_eq!(validate(&[req], &a, p), Ok(()));
+            prop_assert!(a[0] <= script[q % script.len()]);
+        }
+    }
+
+    /// DEQ hands every processor to a single unbounded requester.
+    #[test]
+    fn deq_single_job_gets_machine(p in 1u32..500) {
+        let mut alloc = DynamicEquiPartition::new(p);
+        let a = alloc.allocate(&[f64::from(p) * 4.0]);
+        prop_assert_eq!(a[0], p);
+    }
+}

@@ -1,0 +1,67 @@
+//! Cross-model consistency: the three execution substrates (pipelined
+//! fast path, per-task B-Greedy, randomized work stealing) agree on the
+//! conserved quantities and order as theory predicts.
+
+use abg_dag::{Phase, PhasedJob};
+use abg_sched::{BGreedyExecutor, JobExecutor, PipelinedExecutor};
+use abg_steal::StealExecutor;
+use proptest::prelude::*;
+
+fn phases() -> impl Strategy<Value = Vec<Phase>> {
+    prop::collection::vec((1u64..=8, 1u64..=6), 1..5)
+        .prop_map(|v| v.into_iter().map(|(w, l)| Phase::new(w, l)).collect())
+}
+
+fn drive<E: JobExecutor>(ex: &mut E, a: u32, l: u64) -> (u64, u64, f64) {
+    let mut span = 0.0;
+    while !ex.is_complete() {
+        span += ex.run_quantum(a, l).span;
+    }
+    (ex.elapsed_steps(), ex.completed_work(), span)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All three substrates complete the same job with identical work
+    /// and accumulated span, and greedy scheduling (which executes
+    /// `min(a, ready)` tasks every step) is never slower than work
+    /// stealing (which loses steps to failed steals) at the same fixed
+    /// allotment.
+    #[test]
+    fn substrates_agree_and_greedy_dominates(ph in phases(), a in 1u32..10,
+                                             l in 2u64..12, seed in 0u64..100) {
+        let job = PhasedJob::new(ph);
+        let dag = job.to_explicit();
+
+        let mut fast = PipelinedExecutor::new(job.clone());
+        let (t_fast, w_fast, s_fast) = drive(&mut fast, a, l);
+
+        let mut greedy = BGreedyExecutor::new(&dag);
+        let (t_greedy, w_greedy, s_greedy) = drive(&mut greedy, a, l);
+
+        let mut steal = StealExecutor::new(&dag, seed);
+        let (t_steal, w_steal, s_steal) = drive(&mut steal, a, l);
+
+        // Conservation across all three.
+        prop_assert_eq!(w_fast, job.work());
+        prop_assert_eq!(w_greedy, job.work());
+        prop_assert_eq!(w_steal, job.work());
+        prop_assert!((s_fast - job.span() as f64).abs() < 1e-9);
+        prop_assert!((s_greedy - job.span() as f64).abs() < 1e-9);
+        prop_assert!((s_steal - job.span() as f64).abs() < 1e-9);
+
+        // The fast path IS per-task B-Greedy.
+        prop_assert_eq!(t_fast, t_greedy);
+
+        // Work stealing can only lose steps relative to an omniscient
+        // greedy scheduler at the same allotment.
+        prop_assert!(t_steal >= t_greedy,
+            "stealing finished in {t_steal} steps < greedy's {t_greedy}");
+
+        // And it cannot be worse than fully serial execution plus the
+        // classic span overhead bound with a generous constant.
+        prop_assert!(t_steal <= job.work() + 16 * a as u64 * job.span(),
+            "stealing took {t_steal} steps on T1={} T∞={}", job.work(), job.span());
+    }
+}
