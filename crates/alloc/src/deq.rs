@@ -34,6 +34,13 @@ pub struct DynamicEquiPartition {
     processors: u32,
     /// Rotates which deprived jobs absorb the integer remainder.
     rotation: u64,
+    /// Scratch (integerized requests), reused so repeated `allocate_into`
+    /// calls allocate nothing at steady state.
+    #[serde(skip)]
+    caps: Vec<u32>,
+    /// Scratch (indices of jobs not yet satisfied by water-filling).
+    #[serde(skip)]
+    active: Vec<usize>,
 }
 
 impl DynamicEquiPartition {
@@ -47,20 +54,31 @@ impl DynamicEquiPartition {
         Self {
             processors,
             rotation: 0,
+            caps: Vec::new(),
+            active: Vec::new(),
         }
     }
 }
 
 impl Allocator for DynamicEquiPartition {
-    fn allocate(&mut self, requests: &[f64]) -> Vec<u32> {
+    fn allocate_into(&mut self, requests: &[f64], out: &mut Vec<u32>) {
         let n = requests.len();
-        let mut allot = vec![0u32; n];
+        out.clear();
+        out.resize(n, 0);
         if n == 0 {
-            return allot;
+            return;
         }
-        let caps: Vec<u32> = requests.iter().map(|&d| ceil_request(d)).collect();
-        let mut remaining = self.processors as u64;
-        let mut active: Vec<usize> = (0..n).collect();
+        let Self {
+            processors,
+            rotation,
+            caps,
+            active,
+        } = self;
+        caps.clear();
+        caps.extend(requests.iter().map(|&d| ceil_request(d)));
+        let mut remaining = *processors as u64;
+        active.clear();
+        active.extend(0..n);
 
         // Water-filling: satisfy every job whose cap fits under the
         // current equal share, re-deriving the share until a fixpoint.
@@ -72,7 +90,7 @@ impl Allocator for DynamicEquiPartition {
             let before = active.len();
             active.retain(|&i| {
                 if caps[i] as u64 <= share {
-                    allot[i] = caps[i];
+                    out[i] = caps[i];
                     remaining -= caps[i] as u64;
                     false
                 } else {
@@ -90,20 +108,16 @@ impl Allocator for DynamicEquiPartition {
             let len = active.len() as u64;
             let base = remaining / len;
             let extra = remaining % len;
-            let offset = self.rotation % len;
+            let offset = *rotation % len;
             for (k, &i) in active.iter().enumerate() {
                 let slot = (k as u64 + len - offset) % len;
                 let bonus = u64::from(slot < extra);
-                allot[i] = ((base + bonus).min(caps[i] as u64)) as u32;
+                out[i] = ((base + bonus).min(caps[i] as u64)) as u32;
             }
-            self.rotation = self.rotation.wrapping_add(extra);
+            *rotation = rotation.wrapping_add(extra);
         }
 
-        debug_assert_eq!(
-            invariants::validate(requests, &allot, self.processors),
-            Ok(())
-        );
-        allot
+        debug_assert_eq!(invariants::validate(requests, out, self.processors), Ok(()));
     }
 
     fn total_processors(&self) -> u32 {

@@ -26,7 +26,10 @@ impl std::fmt::Display for Violation {
                 write!(f, "job {i} was granted more than it requested")
             }
             Violation::OverCapacity { granted, capacity } => {
-                write!(f, "granted {granted} processors on a {capacity}-processor machine")
+                write!(
+                    f,
+                    "granted {granted} processors on a {capacity}-processor machine"
+                )
             }
         }
     }
@@ -96,7 +99,10 @@ mod tests {
     fn validate_rejects_over_capacity() {
         assert_eq!(
             validate(&[5.0, 5.0], &[5, 5], 8),
-            Err(Violation::OverCapacity { granted: 10, capacity: 8 })
+            Err(Violation::OverCapacity {
+                granted: 10,
+                capacity: 8
+            })
         );
     }
 
@@ -124,7 +130,10 @@ mod tests {
 
     #[test]
     fn violation_display_is_informative() {
-        let v = Violation::OverCapacity { granted: 9, capacity: 8 };
+        let v = Violation::OverCapacity {
+            granted: 9,
+            capacity: 8,
+        };
         assert!(v.to_string().contains("9"));
         assert!(v.to_string().contains("8"));
     }

@@ -58,8 +58,22 @@ pub fn ceil_request(d: f64) -> u32 {
 /// respect the machine capacity (`Σ a_i ≤ P`); [`invariants::validate`]
 /// checks both and is used in debug builds and tests.
 pub trait Allocator {
+    /// Computes the allotment of each job for the next quantum, writing
+    /// it into `out` (which is cleared first and ends up with
+    /// `requests.len()` entries).
+    ///
+    /// This is the required method so the simulation engines can reuse
+    /// one allotment buffer across quanta and keep their steady-state
+    /// loops free of per-quantum heap allocation; [`Allocator::allocate`]
+    /// is the allocating convenience wrapper.
+    fn allocate_into(&mut self, requests: &[f64], out: &mut Vec<u32>);
+
     /// Computes the allotment of each job for the next quantum.
-    fn allocate(&mut self, requests: &[f64]) -> Vec<u32>;
+    fn allocate(&mut self, requests: &[f64]) -> Vec<u32> {
+        let mut out = Vec::with_capacity(requests.len());
+        self.allocate_into(requests, &mut out);
+        out
+    }
 
     /// The availability `p_i` of each job: the allotment the job would
     /// have received had it requested the whole machine, holding the

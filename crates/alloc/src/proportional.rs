@@ -15,6 +15,13 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Proportional {
     processors: u32,
+    /// Scratch (integerized requests), reused across `allocate_into`
+    /// calls.
+    #[serde(skip)]
+    caps: Vec<u32>,
+    /// Scratch (fractional remainders for largest-remainder rounds).
+    #[serde(skip)]
+    fractions: Vec<(f64, usize)>,
 }
 
 impl Proportional {
@@ -26,31 +33,43 @@ impl Proportional {
     /// Panics if `processors == 0`.
     pub fn new(processors: u32) -> Self {
         assert!(processors > 0, "a machine needs at least one processor");
-        Self { processors }
+        Self {
+            processors,
+            caps: Vec::new(),
+            fractions: Vec::new(),
+        }
     }
 }
 
 impl Allocator for Proportional {
-    fn allocate(&mut self, requests: &[f64]) -> Vec<u32> {
+    fn allocate_into(&mut self, requests: &[f64], out: &mut Vec<u32>) {
+        out.clear();
         let n = requests.len();
         if n == 0 {
-            return Vec::new();
+            return;
         }
-        let caps: Vec<u32> = requests.iter().map(|&d| ceil_request(d)).collect();
+        let Self {
+            processors,
+            caps,
+            fractions,
+        } = self;
+        caps.clear();
+        caps.extend(requests.iter().map(|&d| ceil_request(d)));
         let demand: u64 = caps.iter().map(|&c| c as u64).sum();
-        let p = self.processors as u64;
+        let p = *processors as u64;
         if demand <= p {
             // Everyone fits: grant everything (non-reserving).
-            return caps;
+            out.extend_from_slice(caps);
+            return;
         }
         let total: f64 = requests.iter().sum();
-        let mut allot = vec![0u32; n];
+        out.resize(n, 0);
         let mut granted = 0u64;
-        let mut fractions: Vec<(f64, usize)> = Vec::with_capacity(n);
+        fractions.clear();
         for i in 0..n {
             let ideal = p as f64 * requests[i] / total;
             let base = (ideal.floor() as u64).min(caps[i] as u64) as u32;
-            allot[i] = base;
+            out[i] = base;
             granted += base as u64;
             fractions.push((ideal - base as f64, i));
         }
@@ -59,12 +78,12 @@ impl Allocator for Proportional {
         let mut leftover = p - granted;
         while leftover > 0 {
             let mut progressed = false;
-            for &(_, i) in &fractions {
+            for &(_, i) in fractions.iter() {
                 if leftover == 0 {
                     break;
                 }
-                if allot[i] < caps[i] {
-                    allot[i] += 1;
+                if out[i] < caps[i] {
+                    out[i] += 1;
                     leftover -= 1;
                     progressed = true;
                 }
@@ -73,11 +92,7 @@ impl Allocator for Proportional {
                 break; // every job is at its cap
             }
         }
-        debug_assert_eq!(
-            invariants::validate(requests, &allot, self.processors),
-            Ok(())
-        );
-        allot
+        debug_assert_eq!(invariants::validate(requests, out, self.processors), Ok(()));
     }
 
     fn total_processors(&self) -> u32 {

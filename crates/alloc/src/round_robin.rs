@@ -36,30 +36,23 @@ impl RoundRobin {
 }
 
 impl Allocator for RoundRobin {
-    fn allocate(&mut self, requests: &[f64]) -> Vec<u32> {
+    fn allocate_into(&mut self, requests: &[f64], out: &mut Vec<u32>) {
+        out.clear();
         let n = requests.len();
         if n == 0 {
-            return Vec::new();
+            return;
         }
         let len = n as u64;
         let base = self.processors as u64 / len;
         let extra = self.processors as u64 % len;
         let offset = self.rotation % len;
-        let allot: Vec<u32> = requests
-            .iter()
-            .enumerate()
-            .map(|(k, &d)| {
-                let slot = (k as u64 + len - offset) % len;
-                let share = base + u64::from(slot < extra);
-                (share.min(ceil_request(d) as u64)) as u32
-            })
-            .collect();
+        out.extend(requests.iter().enumerate().map(|(k, &d)| {
+            let slot = (k as u64 + len - offset) % len;
+            let share = base + u64::from(slot < extra);
+            (share.min(ceil_request(d) as u64)) as u32
+        }));
         self.rotation = self.rotation.wrapping_add(extra);
-        debug_assert_eq!(
-            invariants::validate(requests, &allot, self.processors),
-            Ok(())
-        );
-        allot
+        debug_assert_eq!(invariants::validate(requests, out, self.processors), Ok(()));
     }
 
     fn total_processors(&self) -> u32 {

@@ -73,22 +73,19 @@ impl Scripted {
 }
 
 impl Allocator for Scripted {
-    fn allocate(&mut self, requests: &[f64]) -> Vec<u32> {
+    fn allocate_into(&mut self, requests: &[f64], out: &mut Vec<u32>) {
         assert!(
             requests.len() <= 1,
             "the scripted allocator models a single-job environment"
         );
+        out.clear();
         if requests.is_empty() {
-            return Vec::new();
+            return;
         }
         let p = self.peek_availability();
         self.cursor += 1;
-        let allot = vec![ceil_request(requests[0]).min(p)];
-        debug_assert_eq!(
-            invariants::validate(requests, &allot, self.processors),
-            Ok(())
-        );
-        allot
+        out.push(ceil_request(requests[0]).min(p));
+        debug_assert_eq!(invariants::validate(requests, out, self.processors), Ok(()));
     }
 
     fn availabilities(&mut self, requests: &[f64]) -> Vec<u32> {

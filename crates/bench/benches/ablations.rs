@@ -3,9 +3,7 @@
 //! simulated schedule. (The quality side of the same ablations — time
 //! and waste — is printed by `abg-cli ablate`.)
 
-use abg::experiments::{
-    quantum_ablation, rate_ablation, scheduler_ablation, semantics_ablation,
-};
+use abg::experiments::{quantum_ablation, rate_ablation, scheduler_ablation, semantics_ablation};
 use abg_bench::ablation_config;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;

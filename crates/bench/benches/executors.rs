@@ -3,11 +3,13 @@
 //! microbenches. This quantifies the ablation "leveled/pipelined fast
 //! path vs explicit per-task simulation" from DESIGN.md.
 
+use abg::experiments::KernelBenchConfig;
 use abg_dag::{generate, LeveledJob, Phase, PhasedJob, TaskId};
+use abg_sched::queue::{BreadthFirstQueue, FifoQueue, LifoQueue};
 use abg_sched::{
     BGreedyExecutor, JobExecutor, LeveledExecutor, PipelinedExecutor, ReadyQueue,
+    ReferenceBGreedyExecutor,
 };
-use abg_sched::queue::{BreadthFirstQueue, FifoQueue, LifoQueue};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -67,6 +69,42 @@ fn bench_executors(c: &mut Criterion) {
     g.finish();
 }
 
+/// The CLI's chain kernels (`abg-cli bench`) under Criterion: the
+/// macro-stepping kernel against the legacy clone-and-rescan reference
+/// on the same serial chain with short quanta. The ratio of these two
+/// is the headline speedup of the incremental-span rewrite.
+fn bench_chain_kernels(c: &mut Criterion) {
+    let cfg = KernelBenchConfig::full();
+    let chain = generate::chain(cfg.chain_len);
+    let q = cfg.chain_quantum;
+
+    let mut g = c.benchmark_group("chain_kernel");
+    g.throughput(Throughput::Elements(cfg.chain_len as u64));
+    g.sample_size(10);
+
+    g.bench_function("macro_stepping", |b| {
+        b.iter(|| {
+            let mut ex = BGreedyExecutor::new(black_box(&chain));
+            while !ex.is_complete() {
+                black_box(ex.run_quantum(1, q));
+            }
+            ex.completed_work()
+        })
+    });
+
+    g.bench_function("reference_rescan", |b| {
+        b.iter(|| {
+            let mut ex = ReferenceBGreedyExecutor::new(black_box(&chain));
+            while !ex.is_complete() {
+                black_box(ex.run_quantum(1, q));
+            }
+            ex.completed_work()
+        })
+    });
+
+    g.finish();
+}
+
 /// Quantum fast-forward cost as the number of phases grows.
 fn bench_pipelined_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipelined_quantum");
@@ -116,5 +154,11 @@ fn bench_queues(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_executors, bench_pipelined_scaling, bench_queues);
+criterion_group!(
+    benches,
+    bench_executors,
+    bench_chain_kernels,
+    bench_pipelined_scaling,
+    bench_queues
+);
 criterion_main!(benches);

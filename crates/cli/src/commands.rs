@@ -28,6 +28,7 @@ pub fn run(command: &str, opts: &Options) -> Result<(), String> {
         "robustness" => robustness(opts),
         "allocators" => allocators(opts),
         "overhead" => overhead(opts),
+        "bench" => bench(opts)?,
         "all" => all(opts),
         other => return Err(format!("unknown command '{other}' (try --help)")),
     }
@@ -170,8 +171,11 @@ fn fig5(opts: &Options) {
         let abg: Vec<f64> = points.iter().map(|p| p.abg_time_norm).collect();
         let agreedy: Vec<f64> = points.iter().map(|p| p.agreedy_time_norm).collect();
         let mut c = Chart::new(8);
-        c.series("A-Greedy T/T∞ per factor", '*', &agreedy)
-            .series("ABG T/T∞ per factor", '#', &abg);
+        c.series("A-Greedy T/T∞ per factor", '*', &agreedy).series(
+            "ABG T/T∞ per factor",
+            '#',
+            &abg,
+        );
         print!("{}", c.render());
         println!();
     }
@@ -224,11 +228,8 @@ fn fig6(opts: &Options) {
 }
 
 fn thm1(opts: &Options) {
-    let rows = experiments::theorem1_grid(
-        &[2.0, 10.0, 32.0, 128.0],
-        &[0.0, 0.2, 0.4, 0.6, 0.8],
-        64,
-    );
+    let rows =
+        experiments::theorem1_grid(&[2.0, 10.0, 32.0, 128.0], &[0.0, 0.2, 0.4, 0.6, 0.8], 64);
     let mut t = Table::new(&[
         "parallelism",
         "rate",
@@ -345,7 +346,13 @@ fn thm5(opts: &Options) {
                 }
             }
             None => {
-                t.row_owned(vec![f3(load), "-".into(), "-".into(), "-".into(), "n/a".into()]);
+                t.row_owned(vec![
+                    f3(load),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "n/a".into(),
+                ]);
             }
         }
     }
@@ -366,7 +373,11 @@ fn ablate(opts: &Options) -> Result<(), String> {
         let rows = experiments::rate_ablation(&cfg, &[0.0, 0.2, 0.4, 0.6, 0.8]);
         let mut t = Table::new(&["rate", "time/tinf", "waste/t1"]);
         for r in &rows {
-            t.row_owned(vec![f3(r.rate), f3(r.quality.time_norm), f3(r.quality.waste_norm)]);
+            t.row_owned(vec![
+                f3(r.rate),
+                f3(r.quality.time_norm),
+                f3(r.quality.waste_norm),
+            ]);
         }
         let governed = experiments::governed_rate_quality(&cfg, 0.2);
         t.row_owned(vec![
@@ -483,11 +494,7 @@ fn adaptive(opts: &Options) {
             f3(r.mean_reallocations),
         ]);
     }
-    emit(
-        "Future work: adaptive quantum length under ABG",
-        &t,
-        opts,
-    );
+    emit("Future work: adaptive quantum length under ABG", &t, opts);
 }
 
 fn robustness(opts: &Options) {
@@ -579,6 +586,105 @@ fn overhead(opts: &Options) {
         &t,
         opts,
     );
+}
+
+/// Renders the kernel suite as a JSON document (hand-rolled: the
+/// workspace deliberately has no JSON dependency).
+fn bench_json(
+    mode: &str,
+    cfg: &abg::experiments::KernelBenchConfig,
+    results: &[abg::experiments::KernelResult],
+    speedup: Option<f64>,
+) -> String {
+    let num = |x: f64| {
+        if x.is_finite() {
+            format!("{x:.3}")
+        } else {
+            "null".to_string()
+        }
+    };
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"abg-bench-kernels/v1\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    s.push_str(&format!("  \"min_wall_ms\": {},\n", cfg.min_wall_ms));
+    s.push_str("  \"kernels\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"iters\": {}, \"ops\": {}, \"steps\": {}, \
+             \"wall_ms\": {}, \"ops_per_sec\": {}, \"steps_per_sec\": {}}}{}\n",
+            r.kernel,
+            r.iters,
+            r.ops,
+            r.steps,
+            num(r.wall_ms),
+            num(r.ops_per_sec),
+            num(r.steps_per_sec),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"derived\": {\"chain_macro_over_reference_steps_per_sec\": ");
+    match speedup {
+        Some(x) => s.push_str(&num(x)),
+        None => s.push_str("null"),
+    }
+    s.push_str("}\n}\n");
+    s
+}
+
+fn bench(opts: &Options) -> Result<(), String> {
+    let mode = match opts.positional.first().map(String::as_str) {
+        None => "full",
+        Some("smoke") => "smoke",
+        Some(other) => return Err(format!("unknown bench size '{other}' (expected 'smoke')")),
+    };
+    let mut cfg = if mode == "smoke" {
+        experiments::KernelBenchConfig::smoke()
+    } else {
+        experiments::KernelBenchConfig::full()
+    };
+    if let Some(seed) = opts.seed {
+        cfg.seed = seed;
+    }
+    let results = experiments::run_kernel_suite(&cfg);
+    let speedup = experiments::kernel_speedup(&results, "chain_macro", "chain_reference");
+    let mut t = Table::new(&[
+        "kernel", "iters", "ops", "steps", "wall_ms", "ops/s", "steps/s",
+    ]);
+    for r in &results {
+        t.row_owned(vec![
+            r.kernel.clone(),
+            r.iters.to_string(),
+            r.ops.to_string(),
+            r.steps.to_string(),
+            format!("{:.2}", r.wall_ms),
+            format!("{:.0}", r.ops_per_sec),
+            format!("{:.0}", r.steps_per_sec),
+        ]);
+    }
+    emit(
+        "Kernel benchmark suite (wall-clock; machine-dependent)",
+        &t,
+        opts,
+    );
+    if !opts.csv {
+        match speedup {
+            Some(s) => println!(
+                "macro-stepping kernel vs clone-and-rescan reference on the serial chain: {s:.2}x steps/s"
+            ),
+            None => println!("chain speedup unavailable (reference kernel did no steps)"),
+        }
+        println!();
+    }
+    if opts.json {
+        let path = "BENCH_kernels.json";
+        std::fs::write(path, bench_json(mode, &cfg, &results, speedup))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
 }
 
 fn all(opts: &Options) {

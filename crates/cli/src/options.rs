@@ -16,6 +16,8 @@ pub struct Options {
     pub seed: Option<u64>,
     /// Append ASCII charts after the tables.
     pub plot: bool,
+    /// Write machine-readable JSON output (the `bench` subcommand).
+    pub json: bool,
 }
 
 impl Options {
@@ -40,12 +42,14 @@ commands:
   robustness           irregular parallelism profiles
   allocators           DEQ vs round-robin vs proportional share
   overhead             reallocation-overhead sensitivity sweep
+  bench [smoke]        kernel benchmark suite (smoke = CI-sized run)
   all                  every experiment at scaled size
 
 flags:
   --full               paper-scale fig5/fig6 (sub-second; the fast paths are cheap)
   --csv                CSV output instead of aligned tables
   --plot               append ASCII charts after the tables
+  --json               bench: also write BENCH_kernels.json
   --seed N             override the experiment seed
   -h, --help           this text";
 
@@ -58,10 +62,10 @@ flags:
                 "--full" => opts.full = true,
                 "--csv" => opts.csv = true,
                 "--plot" => opts.plot = true,
+                "--json" => opts.json = true,
                 "--seed" => {
                     let v = it.next().ok_or("--seed needs a value")?;
-                    opts.seed =
-                        Some(v.parse().map_err(|_| format!("invalid seed '{v}'"))?);
+                    opts.seed = Some(v.parse().map_err(|_| format!("invalid seed '{v}'"))?);
                 }
                 "-h" | "--help" => {
                     opts.command = None;
@@ -112,6 +116,14 @@ mod tests {
     fn parses_plot_flag() {
         let o = parse(&["fig4", "--plot"]).unwrap();
         assert!(o.plot);
+    }
+
+    #[test]
+    fn parses_json_flag() {
+        let o = parse(&["bench", "smoke", "--json"]).unwrap();
+        assert_eq!(o.command.as_deref(), Some("bench"));
+        assert_eq!(o.positional, vec!["smoke"]);
+        assert!(o.json);
     }
 
     #[test]

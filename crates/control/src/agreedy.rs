@@ -92,8 +92,7 @@ impl AGreedy {
 
     /// Whether a quantum with these statistics counts as efficient.
     pub fn is_efficient(&self, stats: &QuantumStats) -> bool {
-        stats.work as f64
-            >= self.utilization * stats.allotment as f64 * stats.quantum_len as f64
+        stats.work as f64 >= self.utilization * stats.allotment as f64 * stats.quantum_len as f64
     }
 }
 
@@ -150,7 +149,7 @@ mod tests {
         let mut g = AGreedy::new(2.0, 0.8);
         g.observe(&quantum(1, 10, 10)); // -> 2
         g.observe(&quantum(2, 10, 20)); // -> 4
-        // Only 50% utilization at allotment 4: inefficient.
+                                        // Only 50% utilization at allotment 4: inefficient.
         assert_eq!(g.observe(&quantum(4, 10, 20)), 2.0);
     }
 
@@ -158,7 +157,7 @@ mod tests {
     fn efficient_deprived_holds() {
         let mut g = AGreedy::new(2.0, 0.8);
         g.observe(&quantum(1, 10, 10)); // desire 2
-        // Granted 1 < desire 2, fully utilized: hold.
+                                        // Granted 1 < desire 2, fully utilized: hold.
         assert_eq!(g.observe(&quantum(1, 10, 10)), 2.0);
     }
 
@@ -181,8 +180,8 @@ mod tests {
         let mut d = g.current_request();
         for _ in 0..32 {
             let allot = d.ceil() as u32; // allocator grants the request
-            // Work done: with allotment above the parallelism the job can
-            // only use A·L cycles; below it, it saturates the allotment.
+                                         // Work done: with allotment above the parallelism the job can
+                                         // only use A·L cycles; below it, it saturates the allotment.
             let l = 100u64;
             let work = ((allot as f64).min(a_job) * l as f64) as u64;
             d = g.observe(&quantum(allot, l, work));

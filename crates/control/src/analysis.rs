@@ -270,7 +270,11 @@ mod tests {
         let loop_ = ClosedLoop::with_convergence_rate(20.0, 0.2);
         let traj = loop_.request_trajectory(1.0, 40);
         let m = analyze_step_response(&traj, 20.0, 0.01);
-        assert!(m.steady_state_error < 1e-6, "sse = {}", m.steady_state_error);
+        assert!(
+            m.steady_state_error < 1e-6,
+            "sse = {}",
+            m.steady_state_error
+        );
         assert!(m.max_overshoot < 1e-9, "overshoot = {}", m.max_overshoot);
         assert!((m.convergence_rate - 0.2).abs() < 1e-9);
         assert!(m.settling_quantum < 40);
@@ -289,7 +293,9 @@ mod tests {
     #[test]
     fn oscillating_trajectory_flagged_nonconvergent() {
         // A-Greedy-like 8/16 oscillation around A = 10.
-        let traj: Vec<f64> = (0..16).map(|i| if i % 2 == 0 { 8.0 } else { 16.0 }).collect();
+        let traj: Vec<f64> = (0..16)
+            .map(|i| if i % 2 == 0 { 8.0 } else { 16.0 })
+            .collect();
         let m = analyze_step_response(&traj, 10.0, 0.02);
         assert!(m.convergence_rate >= 1.0);
         assert_eq!(m.settling_quantum, traj.len());
@@ -380,9 +386,7 @@ mod tests {
         let traj = loop_.request_trajectory(a, 1.0, 60);
         let e = |d: f64| (d - a).abs();
         // Average tail contraction over quanta 40..50.
-        let tail: Vec<f64> = (40..50)
-            .map(|q| e(traj[q + 1]) / e(traj[q]))
-            .collect();
+        let tail: Vec<f64> = (40..50).map(|q| e(traj[q + 1]) / e(traj[q])).collect();
         let mean = tail.iter().sum::<f64>() / tail.len() as f64;
         assert!(
             (mean - loop_.dominant_rate()).abs() < 0.05,

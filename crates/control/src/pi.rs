@@ -152,8 +152,16 @@ mod tests {
         };
         // Damping slows the approach (the error difference opposes the
         // correction while converging) but must stay the same order.
-        assert!(settle(0.4) >= settle(0.0), "{} vs {}", settle(0.4), settle(0.0));
-        assert!(settle(0.4) <= 3 * settle(0.0).max(1), "damping must not stall convergence");
+        assert!(
+            settle(0.4) >= settle(0.0),
+            "{} vs {}",
+            settle(0.4),
+            settle(0.0)
+        );
+        assert!(
+            settle(0.4) <= 3 * settle(0.0).max(1),
+            "damping must not stall convergence"
+        );
     }
 
     #[test]

@@ -75,8 +75,7 @@ pub fn theorem4_waste_bound(
 ) -> Option<f64> {
     validate_params(c_l, r);
     (c_l * r < 1.0).then(|| {
-        c_l * (1.0 - r) / (1.0 - c_l * r) * work as f64
-            + processors as f64 * quantum_len as f64
+        c_l * (1.0 - r) / (1.0 - c_l * r) * work as f64 + processors as f64 * quantum_len as f64
     })
 }
 
@@ -92,8 +91,8 @@ pub fn theorem5_makespan_bound(
 ) -> Option<f64> {
     validate_params(c_l, r);
     (c_l * r < 1.0).then(|| {
-        let coeff = (c_l + 1.0 - 2.0 * c_l * r) / (1.0 - c_l * r)
-            + (c_l + 1.0 - 2.0 * r) / (1.0 - r);
+        let coeff =
+            (c_l + 1.0 - 2.0 * c_l * r) / (1.0 - c_l * r) + (c_l + 1.0 - 2.0 * r) / (1.0 - r);
         coeff * makespan_lower_bound + quantum_len as f64 * (num_jobs as f64 + 2.0)
     })
 }
@@ -110,8 +109,8 @@ pub fn theorem5_response_bound(
 ) -> Option<f64> {
     validate_params(c_l, r);
     (c_l * r < 1.0).then(|| {
-        let coeff = (2.0 * c_l + 2.0 - 4.0 * c_l * r) / (1.0 - c_l * r)
-            + (c_l + 1.0 - 2.0 * r) / (1.0 - r);
+        let coeff =
+            (2.0 * c_l + 2.0 - 4.0 * c_l * r) / (1.0 - c_l * r) + (c_l + 1.0 - 2.0 * r) / (1.0 - r);
         coeff * response_lower_bound + quantum_len as f64 * (num_jobs as f64 + 2.0)
     })
 }
@@ -188,7 +187,10 @@ pub fn response_lower_bound_batched(jobs: &[JobSize], processors: u32) -> f64 {
 }
 
 fn validate_params(c_l: f64, r: f64) {
-    assert!(c_l >= 1.0, "transition factor must be at least 1, got {c_l}");
+    assert!(
+        c_l >= 1.0,
+        "transition factor must be at least 1, got {c_l}"
+    );
     assert!(
         (0.0..1.0).contains(&r),
         "convergence rate must lie in [0, 1), got {r}"
@@ -247,14 +249,30 @@ mod tests {
         let p = 4;
         // Work-bound case: lots of total work.
         let jobs = [
-            JobSize { work: 100, span: 5, release: 0 },
-            JobSize { work: 100, span: 5, release: 0 },
+            JobSize {
+                work: 100,
+                span: 5,
+                release: 0,
+            },
+            JobSize {
+                work: 100,
+                span: 5,
+                release: 0,
+            },
         ];
         assert_eq!(makespan_lower_bound(&jobs, p), 50.0);
         // Span-bound case: one long chain released late.
         let jobs = [
-            JobSize { work: 10, span: 10, release: 90 },
-            JobSize { work: 10, span: 5, release: 0 },
+            JobSize {
+                work: 10,
+                span: 10,
+                release: 90,
+            },
+            JobSize {
+                work: 10,
+                span: 5,
+                release: 0,
+            },
         ];
         assert_eq!(makespan_lower_bound(&jobs, p), 100.0);
     }
@@ -262,7 +280,11 @@ mod tests {
     #[test]
     fn makespan_lower_bound_uses_work_over_p_per_job() {
         // A single huge job: even alone it needs T1/P steps.
-        let jobs = [JobSize { work: 1000, span: 1, release: 0 }];
+        let jobs = [JobSize {
+            work: 1000,
+            span: 1,
+            release: 0,
+        }];
         assert_eq!(makespan_lower_bound(&jobs, 10), 100.0);
     }
 
@@ -270,8 +292,16 @@ mod tests {
     fn response_lower_bound_squashed_area() {
         let p = 2;
         let jobs = [
-            JobSize { work: 2, span: 1, release: 0 },
-            JobSize { work: 4, span: 1, release: 0 },
+            JobSize {
+                work: 2,
+                span: 1,
+                release: 0,
+            },
+            JobSize {
+                work: 4,
+                span: 1,
+                release: 0,
+            },
         ];
         // SA = (2·2 + 1·4) / (2·2) = 2; mean span = 1.
         assert_eq!(response_lower_bound_batched(&jobs, p), 2.0);
@@ -280,8 +310,16 @@ mod tests {
     #[test]
     fn response_lower_bound_mean_span_dominates_for_serial_jobs() {
         let jobs = [
-            JobSize { work: 10, span: 10, release: 0 },
-            JobSize { work: 10, span: 10, release: 0 },
+            JobSize {
+                work: 10,
+                span: 10,
+                release: 0,
+            },
+            JobSize {
+                work: 10,
+                span: 10,
+                release: 0,
+            },
         ];
         // On 100 processors SA is tiny; mean span 10 binds.
         assert_eq!(response_lower_bound_batched(&jobs, 100), 10.0);
@@ -290,7 +328,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "batched")]
     fn response_bound_rejects_releases() {
-        let jobs = [JobSize { work: 1, span: 1, release: 5 }];
+        let jobs = [JobSize {
+            work: 1,
+            span: 1,
+            release: 5,
+        }];
         let _ = response_lower_bound_batched(&jobs, 2);
     }
 

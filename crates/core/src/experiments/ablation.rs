@@ -7,8 +7,7 @@ use abg_alloc::Scripted;
 use abg_control::{AControl, AGreedy, AdaptiveRateControl, RequestCalculator};
 use abg_dag::{ExplicitDag, ForkJoinSpec};
 use abg_sched::{
-    BGreedyExecutor, DepthFirstExecutor, GreedyExecutor, LeveledExecutor,
-    PipelinedExecutor,
+    BGreedyExecutor, DepthFirstExecutor, GreedyExecutor, LeveledExecutor, PipelinedExecutor,
 };
 use abg_sim::{run_single_job, SingleJobConfig, SingleJobRun};
 use abg_workload::paper_job;
@@ -229,12 +228,14 @@ pub fn scheduler_ablation(cfg: &AblationConfig) -> Vec<SchedulerAblationRow> {
         .factors
         .iter()
         .flat_map(|&f| {
-            (0..cfg.jobs_per_factor as u64).map(move |j| (f, j)).map(|(f, j)| {
-                let mut rng = StdRng::seed_from_u64(task_seed(cfg.seed, f, j));
-                ForkJoinSpec::with_transition_factor(f.min(16), quantum_len, 2)
-                    .generate_phased(&mut rng)
-                    .to_explicit()
-            })
+            (0..cfg.jobs_per_factor as u64)
+                .map(move |j| (f, j))
+                .map(|(f, j)| {
+                    let mut rng = StdRng::seed_from_u64(task_seed(cfg.seed, f, j));
+                    ForkJoinSpec::with_transition_factor(f.min(16), quantum_len, 2)
+                        .generate_phased(&mut rng)
+                        .to_explicit()
+                })
         })
         .collect();
 
@@ -319,7 +320,12 @@ pub fn semantics_ablation(cfg: &AblationConfig) -> Vec<SemanticsAblationRow> {
             let sim_cfg = SingleJobConfig::new(cfg.quantum_len);
             if barrier {
                 let job = spec.generate(&mut rng);
-                run_single_job(&mut LeveledExecutor::new(job), &mut calc, &mut alloc, sim_cfg)
+                run_single_job(
+                    &mut LeveledExecutor::new(job),
+                    &mut calc,
+                    &mut alloc,
+                    sim_cfg,
+                )
             } else {
                 let job = spec.generate_phased(&mut rng);
                 run_single_job(
@@ -361,7 +367,10 @@ mod tests {
         // High convergence rates react too slowly: quality degrades.
         let t0 = rows[0].quality.time_norm;
         let t9 = rows[3].quality.time_norm;
-        assert!(t9 >= t0 - 1e-9, "r=0.9 ({t9}) should be no faster than r=0 ({t0})");
+        assert!(
+            t9 >= t0 - 1e-9,
+            "r=0.9 ({t9}) should be no faster than r=0 ({t0})"
+        );
         for r in &rows {
             assert!(r.quality.time_norm >= 1.0 - 1e-9);
         }
@@ -374,8 +383,14 @@ mod tests {
         let governed = governed_rate_quality(&cfg, 0.2);
         // The governor may clamp the rate toward 0 on violent jobs; it
         // must not cost more than a small factor on either metric.
-        assert!(governed.time_norm <= fixed.time_norm * 1.1, "{governed:?} vs {fixed:?}");
-        assert!(governed.waste_norm <= fixed.waste_norm * 1.3, "{governed:?} vs {fixed:?}");
+        assert!(
+            governed.time_norm <= fixed.time_norm * 1.1,
+            "{governed:?} vs {fixed:?}"
+        );
+        assert!(
+            governed.waste_norm <= fixed.waste_norm * 1.3,
+            "{governed:?} vs {fixed:?}"
+        );
     }
 
     #[test]

@@ -5,9 +5,7 @@ use super::{parallel_map, task_seed};
 use abg_alloc::Scripted;
 use abg_control::AControl;
 use abg_sched::PipelinedExecutor;
-use abg_sim::{
-    run_single_job_adaptive, AdaptiveQuantum, FixedQuantum, SingleJobConfig,
-};
+use abg_sim::{run_single_job_adaptive, AdaptiveQuantum, FixedQuantum, SingleJobConfig};
 use abg_workload::paper_job;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -122,7 +120,11 @@ pub fn adaptive_quantum_comparison(cfg: &AdaptiveQuantumConfig) -> Vec<AdaptiveQ
     ];
     (0..3u8)
         .map(|p| {
-            let rows: Vec<_> = results.iter().filter(|(q, _)| *q == p).map(|(_, r)| r).collect();
+            let rows: Vec<_> = results
+                .iter()
+                .filter(|(q, _)| *q == p)
+                .map(|(_, r)| r)
+                .collect();
             let n = rows.len() as f64;
             AdaptiveQuantumRow {
                 policy: names[p as usize].clone(),

@@ -129,8 +129,18 @@ pub fn allocator_policy_comparison(cfg: &AllocatorPolicyConfig) -> Vec<Allocator
             cfg.quantum_len,
             cfg.rate,
         );
-        let rr = run_with(&set, RoundRobin::new(cfg.processors), cfg.quantum_len, cfg.rate);
-        let prop = run_with(&set, Proportional::new(cfg.processors), cfg.quantum_len, cfg.rate);
+        let rr = run_with(
+            &set,
+            RoundRobin::new(cfg.processors),
+            cfg.quantum_len,
+            cfg.rate,
+        );
+        let prop = run_with(
+            &set,
+            Proportional::new(cfg.processors),
+            cfg.quantum_len,
+            cfg.rate,
+        );
         (load, [deq, rr, prop])
     });
 

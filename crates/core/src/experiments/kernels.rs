@@ -1,0 +1,362 @@
+//! The kernel benchmark trajectory suite: wall-clock throughput of the
+//! hot simulation loops, measured the same way from the CLI (`abg-cli
+//! bench`), the Criterion benches, and CI smoke runs.
+//!
+//! Each kernel drives one hot path end to end and reports *operations*
+//! (tasks executed, or jobs simulated for the composite kernels) and
+//! *simulated steps* per second. The `chain_macro` / `chain_reference`
+//! pair measures the incremental-span + macro-stepping kernel against
+//! the legacy clone-and-rescan kernel preserved in
+//! [`abg_sched::ReferenceExecutor`] — the before/after of the
+//! `O(T∞)`-per-quantum → `O(work done this quantum)` rewrite.
+
+use super::single_job::{single_job_sweep, SingleJobSweepConfig};
+use abg_alloc::DynamicEquiPartition;
+use abg_control::AControl;
+use abg_dag::{generate, LeveledJob, Phase, PhasedJob};
+use abg_sched::{
+    BGreedyExecutor, JobExecutor, LeveledExecutor, PipelinedExecutor, ReferenceBGreedyExecutor,
+};
+use abg_sim::MultiJobSim;
+use abg_workload::{JobSetSpec, ReleaseSchedule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Configuration of the kernel suite.
+///
+/// [`KernelBenchConfig::full`] is the recorded-baseline size;
+/// [`KernelBenchConfig::smoke`] shrinks every kernel so the whole suite
+/// finishes in well under a second (CI and tests).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelBenchConfig {
+    /// Minimum wall-clock per kernel in milliseconds: each kernel body
+    /// repeats until at least this much time has elapsed.
+    pub min_wall_ms: u64,
+    /// Tasks in the serial-chain kernels (long `T∞`, width 1).
+    pub chain_len: u32,
+    /// Quantum length for the chain kernels — deliberately short, so the
+    /// legacy kernel pays its per-quantum rescan many times.
+    pub chain_quantum: u64,
+    /// Width of the pipelined chain-bundle (fork-join) kernel.
+    pub bundle_width: u32,
+    /// Levels per chain in the chain-bundle kernel.
+    pub bundle_levels: u32,
+    /// Depth of the binary fork-tree kernel (`2^depth − 1` tasks).
+    pub tree_depth: u32,
+    /// Serial/parallel phase pairs in the phased (pipelined) kernel.
+    pub phased_pairs: u64,
+    /// Parallel-phase width in the phased kernel.
+    pub phased_width: u64,
+    /// Levels per phase in the phased kernel.
+    pub phased_len: u64,
+    /// Width of the barrier-leveled kernel.
+    pub leveled_width: u64,
+    /// Levels of the barrier-leveled kernel.
+    pub leveled_levels: u64,
+    /// Transition factors of the single-job sweep kernel.
+    pub sweep_factors: Vec<u64>,
+    /// Jobs per factor in the single-job sweep kernel.
+    pub sweep_jobs: u32,
+    /// Machine size for the composite kernels.
+    pub processors: u32,
+    /// Load of the multiprogrammed DEQ kernel.
+    pub load: f64,
+    /// Suite seed (job generation only; timings are machine-dependent).
+    pub seed: u64,
+}
+
+impl KernelBenchConfig {
+    /// The recorded-baseline size (sub-minute on a laptop core).
+    pub fn full() -> Self {
+        Self {
+            min_wall_ms: 200,
+            chain_len: 100_000,
+            chain_quantum: 64,
+            bundle_width: 8,
+            bundle_levels: 25_000,
+            tree_depth: 16,
+            phased_pairs: 64,
+            phased_width: 16,
+            phased_len: 64,
+            leveled_width: 16,
+            leveled_levels: 50_000,
+            sweep_factors: vec![2, 10, 40],
+            sweep_jobs: 8,
+            processors: 128,
+            load: 2.0,
+            seed: 0xB16C_2008,
+        }
+    }
+
+    /// A CI/test smoke size: every kernel shrunk to finish the whole
+    /// suite in well under a second.
+    pub fn smoke() -> Self {
+        Self {
+            min_wall_ms: 2,
+            chain_len: 4_000,
+            chain_quantum: 64,
+            bundle_width: 8,
+            bundle_levels: 500,
+            tree_depth: 10,
+            phased_pairs: 8,
+            phased_width: 8,
+            phased_len: 16,
+            leveled_width: 8,
+            leveled_levels: 1_000,
+            sweep_factors: vec![2, 10],
+            sweep_jobs: 2,
+            processors: 32,
+            load: 1.0,
+            seed: 0xB16C_2008,
+        }
+    }
+}
+
+/// One kernel's measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelResult {
+    /// Kernel name (stable identifier for trajectory tracking).
+    pub kernel: String,
+    /// Repetitions of the kernel body within the measurement window.
+    pub iters: u64,
+    /// Operations processed across all repetitions (tasks executed, or
+    /// jobs simulated for the `single_job_sweep` kernel).
+    pub ops: u64,
+    /// Simulated time steps advanced across all repetitions (zero where
+    /// the notion does not apply).
+    pub steps: u64,
+    /// Wall-clock time of the measurement window in milliseconds.
+    pub wall_ms: f64,
+    /// Operations per wall-clock second.
+    pub ops_per_sec: f64,
+    /// Simulated steps per wall-clock second.
+    pub steps_per_sec: f64,
+}
+
+/// Repeats `body` until `min_wall_ms` has elapsed (at least once) and
+/// folds the accumulated counters into a [`KernelResult`].
+fn measure<F>(kernel: &str, min_wall_ms: u64, mut body: F) -> KernelResult
+where
+    F: FnMut() -> (u64, u64),
+{
+    let mut iters = 0u64;
+    let mut ops = 0u64;
+    let mut steps = 0u64;
+    let start = Instant::now();
+    loop {
+        let (o, s) = body();
+        iters += 1;
+        ops += o;
+        steps += s;
+        if start.elapsed().as_millis() as u64 >= min_wall_ms {
+            break;
+        }
+    }
+    let wall = start.elapsed();
+    let secs = wall.as_secs_f64().max(1e-9);
+    KernelResult {
+        kernel: kernel.to_string(),
+        iters,
+        ops,
+        steps,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        ops_per_sec: ops as f64 / secs,
+        steps_per_sec: steps as f64 / secs,
+    }
+}
+
+/// Runs every kernel once and returns the measurements in suite order.
+pub fn run_kernel_suite(cfg: &KernelBenchConfig) -> Vec<KernelResult> {
+    let ms = cfg.min_wall_ms;
+    let mut results = Vec::new();
+
+    // Serial chain, short quanta: the macro-stepping fast path against
+    // the legacy clone-and-rescan kernel on identical inputs. These two
+    // produce bit-identical QuantumStats (the equivalence suite checks
+    // this); only the cost model differs.
+    let chain = generate::chain(cfg.chain_len);
+    let q = cfg.chain_quantum;
+    results.push(measure("chain_macro", ms, || {
+        let mut ex = BGreedyExecutor::new(&chain);
+        while !ex.is_complete() {
+            ex.run_quantum(1, q);
+        }
+        (ex.completed_work(), ex.elapsed_steps())
+    }));
+    results.push(measure("chain_reference", ms, || {
+        let mut ex = ReferenceBGreedyExecutor::new(&chain);
+        while !ex.is_complete() {
+            ex.run_quantum(1, q);
+        }
+        (ex.completed_work(), ex.elapsed_steps())
+    }));
+
+    // Pipelined fork-join bundle: wide, constant parallelism.
+    let bundle = generate::chain_bundle(cfg.bundle_width, cfg.bundle_levels);
+    let width = cfg.bundle_width;
+    results.push(measure("forkjoin_bundle", ms, || {
+        let mut ex = BGreedyExecutor::new(&bundle);
+        while !ex.is_complete() {
+            ex.run_quantum(width, 100);
+        }
+        (ex.completed_work(), ex.elapsed_steps())
+    }));
+
+    // Binary fork tree: parallelism doubling every level, successor
+    // relaxation dominated.
+    let tree = generate::binary_fork_tree(cfg.tree_depth);
+    results.push(measure("forkjoin_tree", ms, || {
+        let mut ex = BGreedyExecutor::new(&tree);
+        while !ex.is_complete() {
+            ex.run_quantum(32, 100);
+        }
+        (ex.completed_work(), ex.elapsed_steps())
+    }));
+
+    // Phased (serial/parallel alternation) under the pipelined
+    // fast-forward executor.
+    let phased = PhasedJob::new(
+        (0..cfg.phased_pairs * 2)
+            .map(|i| {
+                let w = if i % 2 == 0 { 1 } else { cfg.phased_width };
+                Phase::new(w, cfg.phased_len)
+            })
+            .collect(),
+    );
+    let pw = cfg.phased_width as u32;
+    results.push(measure("phased_pipelined", ms, || {
+        let mut ex = PipelinedExecutor::new(phased.clone());
+        while !ex.is_complete() {
+            ex.run_quantum(pw, 100);
+        }
+        (ex.completed_work(), ex.elapsed_steps())
+    }));
+
+    // Barrier-leveled constant job under the leveled fast-forward.
+    let leveled = LeveledJob::constant(cfg.leveled_width, cfg.leveled_levels);
+    let lw = cfg.leveled_width as u32;
+    results.push(measure("leveled_barrier", ms, || {
+        let mut ex = LeveledExecutor::new(leveled.clone());
+        while !ex.is_complete() {
+            ex.run_quantum(lw, 100);
+        }
+        (ex.completed_work(), ex.elapsed_steps())
+    }));
+
+    // Composite: the Figure-5 single-job sweep at a reduced size. Ops
+    // are jobs simulated (each factor × job pair runs under both
+    // controllers); simulated steps are not surfaced by the sweep.
+    let mut sweep_cfg = SingleJobSweepConfig::scaled();
+    sweep_cfg.factors = cfg.sweep_factors.clone();
+    sweep_cfg.jobs_per_factor = cfg.sweep_jobs;
+    sweep_cfg.quantum_len = 100;
+    sweep_cfg.seed = cfg.seed;
+    let sweep_jobs = sweep_cfg.factors.len() as u64 * sweep_cfg.jobs_per_factor as u64 * 2;
+    results.push(measure("single_job_sweep", ms, || {
+        let points = single_job_sweep(&sweep_cfg);
+        assert_eq!(points.len(), sweep_cfg.factors.len());
+        (sweep_jobs, 0)
+    }));
+
+    // Composite: one multiprogrammed job set under DEQ + ABG.
+    let spec = JobSetSpec {
+        processors: cfg.processors,
+        quantum_len: 100,
+        load: cfg.load,
+        max_factor: 32,
+        pairs: 2,
+        max_jobs: cfg.processors as usize,
+        release: ReleaseSchedule::Batched,
+    };
+    let set = spec.generate(&mut StdRng::seed_from_u64(cfg.seed));
+    results.push(measure("multiprogrammed_deq", ms, || {
+        let mut sim = MultiJobSim::new(DynamicEquiPartition::new(cfg.processors), 100);
+        for (job, &release) in set.jobs.iter().zip(&set.releases) {
+            sim.add_job(
+                Box::new(PipelinedExecutor::new(job.clone())),
+                Box::new(AControl::new(0.2)),
+                release,
+            );
+        }
+        let out = sim.run();
+        (out.total_work(), out.makespan)
+    }));
+
+    results
+}
+
+/// Throughput ratio `numerator.steps_per_sec / denominator.steps_per_sec`
+/// between two kernels of a suite run, by name (`None` if either is
+/// missing or the denominator did no steps).
+pub fn kernel_speedup(results: &[KernelResult], numerator: &str, denominator: &str) -> Option<f64> {
+    let num = results.iter().find(|r| r.kernel == numerator)?;
+    let den = results.iter().find(|r| r.kernel == denominator)?;
+    if den.steps_per_sec > 0.0 {
+        Some(num.steps_per_sec / den.steps_per_sec)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suite_runs_every_kernel() {
+        let results = run_kernel_suite(&KernelBenchConfig::smoke());
+        let names: Vec<&str> = results.iter().map(|r| r.kernel.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "chain_macro",
+                "chain_reference",
+                "forkjoin_bundle",
+                "forkjoin_tree",
+                "phased_pipelined",
+                "leveled_barrier",
+                "single_job_sweep",
+                "multiprogrammed_deq",
+            ]
+        );
+        for r in &results {
+            assert!(r.iters > 0, "{}: no iterations", r.kernel);
+            assert!(r.ops > 0, "{}: no work", r.kernel);
+            assert!(r.wall_ms > 0.0, "{}: no time", r.kernel);
+            assert!(r.ops_per_sec > 0.0, "{}: no throughput", r.kernel);
+            // Per-iteration counters are deterministic.
+            assert_eq!(r.ops % r.iters, 0, "{}: ops not iter-constant", r.kernel);
+            assert_eq!(
+                r.steps % r.iters,
+                0,
+                "{}: steps not iter-constant",
+                r.kernel
+            );
+        }
+    }
+
+    #[test]
+    fn chain_kernels_do_identical_simulated_work() {
+        let cfg = KernelBenchConfig::smoke();
+        let results = run_kernel_suite(&cfg);
+        let per_iter = |name: &str| {
+            let r = results.iter().find(|r| r.kernel == name).unwrap();
+            (r.ops / r.iters, r.steps / r.iters)
+        };
+        // Same job, same schedule: identical per-iteration work and
+        // steps; only wall-clock differs.
+        assert_eq!(per_iter("chain_macro"), per_iter("chain_reference"));
+        assert_eq!(per_iter("chain_macro").0, cfg.chain_len as u64);
+    }
+
+    #[test]
+    fn speedup_helper_finds_named_kernels() {
+        let results = run_kernel_suite(&KernelBenchConfig::smoke());
+        let s = kernel_speedup(&results, "chain_macro", "chain_reference");
+        assert!(s.is_some());
+        assert!(s.unwrap() > 0.0);
+        assert!(kernel_speedup(&results, "chain_macro", "nope").is_none());
+    }
+}

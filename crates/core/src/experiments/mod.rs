@@ -9,6 +9,7 @@
 pub mod ablation;
 pub mod adaptive_quantum;
 pub mod allocator_policies;
+pub mod kernels;
 pub mod multiprogrammed;
 pub mod overhead;
 pub mod robustness;
@@ -18,16 +19,21 @@ pub mod theory;
 pub mod transient;
 
 pub use ablation::{
-    agreedy_ablation, governed_rate_quality, quantum_ablation, rate_ablation,
-    scheduler_ablation, semantics_ablation, AblationConfig, QualityPoint,
+    agreedy_ablation, governed_rate_quality, quantum_ablation, rate_ablation, scheduler_ablation,
+    semantics_ablation, AblationConfig, QualityPoint,
 };
-pub use adaptive_quantum::{adaptive_quantum_comparison, AdaptiveQuantumConfig, AdaptiveQuantumRow};
-pub use allocator_policies::{allocator_policy_comparison, AllocatorPolicyConfig, AllocatorPolicyRow};
+pub use adaptive_quantum::{
+    adaptive_quantum_comparison, AdaptiveQuantumConfig, AdaptiveQuantumRow,
+};
+pub use allocator_policies::{
+    allocator_policy_comparison, AllocatorPolicyConfig, AllocatorPolicyRow,
+};
+pub use kernels::{kernel_speedup, run_kernel_suite, KernelBenchConfig, KernelResult};
 pub use multiprogrammed::{multiprogrammed_sweep, LoadPoint, MultiprogrammedConfig};
 pub use overhead::{overhead_sweep, OverheadConfig, OverheadRow};
 pub use robustness::{robustness_comparison, RobustnessConfig, RobustnessRow};
-pub use stealing::{stealing_comparison, StealRow, StealingConfig};
 pub use single_job::{single_job_sweep, SingleJobSweepConfig, SweepPoint};
+pub use stealing::{stealing_comparison, StealRow, StealingConfig};
 pub use theory::{
     lemma2_check, theorem1_grid, theorem3_check, theorem4_check, theorem5_check, BoundCheck,
     Theorem1Row,

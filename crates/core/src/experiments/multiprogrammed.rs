@@ -112,10 +112,7 @@ pub struct LoadPoint {
 }
 
 fn run_set(cfg: &MultiprogrammedConfig, set: &JobSet, which: Scheduler) -> MultiJobOutcome {
-    let mut sim = MultiJobSim::new(
-        DynamicEquiPartition::new(cfg.processors),
-        cfg.quantum_len,
-    );
+    let mut sim = MultiJobSim::new(DynamicEquiPartition::new(cfg.processors), cfg.quantum_len);
     for (job, &release) in set.jobs.iter().zip(&set.releases) {
         let calculator: Box<dyn RequestCalculator + Send> = match which {
             Scheduler::Abg => Box::new(AControl::new(cfg.rate)),
@@ -191,13 +188,18 @@ fn evaluate_set(cfg: &MultiprogrammedConfig, load: f64, index: u64) -> SetResult
 /// Panics if the config has no loads or zero sets per load.
 pub fn multiprogrammed_sweep(cfg: &MultiprogrammedConfig) -> Vec<LoadPoint> {
     assert!(!cfg.loads.is_empty(), "sweep needs at least one load");
-    assert!(cfg.sets_per_load > 0, "sweep needs at least one set per load");
+    assert!(
+        cfg.sets_per_load > 0,
+        "sweep needs at least one set per load"
+    );
     let units: Vec<(f64, u64)> = cfg
         .loads
         .iter()
         .flat_map(|&l| (0..cfg.sets_per_load as u64).map(move |i| (l, i)))
         .collect();
-    let results = parallel_map(units, |(load, index)| (load, evaluate_set(cfg, load, index)));
+    let results = parallel_map(units, |(load, index)| {
+        (load, evaluate_set(cfg, load, index))
+    });
 
     cfg.loads
         .iter()

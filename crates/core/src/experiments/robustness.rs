@@ -9,8 +9,8 @@ use abg_control::{AControl, AGreedy};
 use abg_dag::{JobStructure, PhasedJob};
 use abg_sched::PipelinedExecutor;
 use abg_sim::{run_single_job, SingleJobConfig, SingleJobRun};
-use abg_workload::profiles::{bursty_job, ramp_job, random_walk_job};
 use abg_workload::paper_job;
+use abg_workload::profiles::{bursty_job, ramp_job, random_walk_job};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -107,8 +107,7 @@ pub fn robustness_comparison(cfg: &RobustnessConfig) -> Vec<RobustnessRow> {
         .flat_map(|c| (0..cfg.jobs_per_class as u64).map(move |j| (c, j)))
         .collect();
     let results = parallel_map(units, |(class_idx, index)| {
-        let mut rng =
-            StdRng::seed_from_u64(task_seed(cfg.seed, class_idx as u64, index));
+        let mut rng = StdRng::seed_from_u64(task_seed(cfg.seed, class_idx as u64, index));
         let job = make_job(CLASSES[class_idx], cfg, &mut rng);
         let profile = job.profile();
         let (abg, agreedy) = pair(&job, cfg);
@@ -128,11 +127,14 @@ pub fn robustness_comparison(cfg: &RobustnessConfig) -> Vec<RobustnessRow> {
         .iter()
         .enumerate()
         .map(|(ci, name)| {
-            let rows: Vec<_> = results.iter().filter(|(c, _)| *c == ci).map(|(_, r)| r).collect();
+            let rows: Vec<_> = results
+                .iter()
+                .filter(|(c, _)| *c == ci)
+                .map(|(_, r)| r)
+                .collect();
             let n = rows.len() as f64;
-            let mean = |f: &dyn Fn(&JobMeasurement) -> f64| {
-                rows.iter().map(|r| f(r)).sum::<f64>() / n
-            };
+            let mean =
+                |f: &dyn Fn(&JobMeasurement) -> f64| rows.iter().map(|r| f(r)).sum::<f64>() / n;
             RobustnessRow {
                 class: name.to_string(),
                 transition_factor: mean(&|r| r.0),
@@ -193,16 +195,15 @@ mod tests {
         let get = |name: &str| rows.iter().find(|r| r.class == name).unwrap();
         // The ramp changes gently but often; the bursty profile has the
         // extreme variance.
-        assert!(
-            get("ramp").changes_per_kilolevel > get("fork-join").changes_per_kilolevel
-        );
-        assert!(
-            get("bursty").coefficient_of_variation > get("ramp").coefficient_of_variation
-        );
+        assert!(get("ramp").changes_per_kilolevel > get("fork-join").changes_per_kilolevel);
+        assert!(get("bursty").coefficient_of_variation > get("ramp").coefficient_of_variation);
     }
 
     #[test]
     fn deterministic() {
-        assert_eq!(robustness_comparison(&tiny()), robustness_comparison(&tiny()));
+        assert_eq!(
+            robustness_comparison(&tiny()),
+            robustness_comparison(&tiny())
+        );
     }
 }

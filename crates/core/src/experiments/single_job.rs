@@ -148,7 +148,10 @@ fn run_pair(cfg: &SingleJobSweepConfig, factor: u64, index: u64) -> JobPair {
 /// Panics if the config has no factors or zero jobs per factor.
 pub fn single_job_sweep(cfg: &SingleJobSweepConfig) -> Vec<SweepPoint> {
     assert!(!cfg.factors.is_empty(), "sweep needs at least one factor");
-    assert!(cfg.jobs_per_factor > 0, "sweep needs at least one job per factor");
+    assert!(
+        cfg.jobs_per_factor > 0,
+        "sweep needs at least one job per factor"
+    );
     let units: Vec<(u64, u64)> = cfg
         .factors
         .iter()
@@ -161,8 +164,11 @@ pub fn single_job_sweep(cfg: &SingleJobSweepConfig) -> Vec<SweepPoint> {
     cfg.factors
         .iter()
         .map(|&factor| {
-            let runs: Vec<&JobPair> =
-                pairs.iter().filter(|(f, _)| *f == factor).map(|(_, p)| p).collect();
+            let runs: Vec<&JobPair> = pairs
+                .iter()
+                .filter(|(f, _)| *f == factor)
+                .map(|(_, p)| p)
+                .collect();
             let n = runs.len() as f64;
             let mean = |f: &dyn Fn(&JobPair) -> f64| runs.iter().map(|p| f(p)).sum::<f64>() / n;
             SweepPoint {
@@ -172,9 +178,7 @@ pub fn single_job_sweep(cfg: &SingleJobSweepConfig) -> Vec<SweepPoint> {
                 agreedy_time_norm: mean(&|p| p.agreedy.time_over_span()),
                 abg_waste_norm: mean(&|p| p.abg.waste_over_work()),
                 agreedy_waste_norm: mean(&|p| p.agreedy.waste_over_work()),
-                time_ratio: mean(&|p| {
-                    p.agreedy.running_time as f64 / p.abg.running_time as f64
-                }),
+                time_ratio: mean(&|p| p.agreedy.running_time as f64 / p.abg.running_time as f64),
                 waste_ratio: {
                     let agreedy: u64 = runs.iter().map(|p| p.agreedy.waste).sum();
                     let abg: u64 = runs.iter().map(|p| p.abg.waste).sum();

@@ -84,8 +84,7 @@ pub fn stealing_comparison(cfg: &StealingConfig) -> Vec<StealRow> {
         .factors
         .iter()
         .flat_map(|&f| {
-            (0..cfg.jobs_per_factor as u64)
-                .flat_map(move |j| (0..4u8).map(move |s| (f, j, s)))
+            (0..cfg.jobs_per_factor as u64).flat_map(move |j| (0..4u8).map(move |s| (f, j, s)))
         })
         .collect();
     let runs = parallel_map(units, |(factor, index, scheduler)| {
@@ -105,24 +104,14 @@ pub fn stealing_comparison(cfg: &StealingConfig) -> Vec<StealRow> {
                 let dag = job.to_explicit();
                 let mut ex = StealExecutor::new(&dag, steal_seed);
                 match s {
-                    1 => run_single_job(
-                        &mut ex,
-                        &mut ASteal::paper_default(),
-                        &mut alloc,
-                        sim_cfg,
-                    ),
+                    1 => run_single_job(&mut ex, &mut ASteal::paper_default(), &mut alloc, sim_cfg),
                     2 => run_single_job(
                         &mut ex,
                         &mut abp_request(cfg.processors),
                         &mut alloc,
                         sim_cfg,
                     ),
-                    _ => run_single_job(
-                        &mut ex,
-                        &mut AControl::new(cfg.rate),
-                        &mut alloc,
-                        sim_cfg,
-                    ),
+                    _ => run_single_job(&mut ex, &mut AControl::new(cfg.rate), &mut alloc, sim_cfg),
                 }
             }
         };

@@ -4,9 +4,7 @@
 //! bounds).
 
 use super::task_seed;
-use crate::bounds::{
-    self, makespan_lower_bound, response_lower_bound_batched, JobSize,
-};
+use crate::bounds::{self, makespan_lower_bound, response_lower_bound_batched, JobSize};
 use abg_alloc::{DynamicEquiPartition, Scripted};
 use abg_control::{analyze_step_response, AControl, AGreedy, ClosedLoop, RequestCalculator};
 use abg_dag::JobStructure;
@@ -206,13 +204,11 @@ pub fn theorem3_check(
         .iter()
         .map(|r| r.availability.expect("trace recorded availability"))
         .collect();
-    let p_trimmed =
-        abg_sim::trimmed_availability(&availabilities, quantum_len, trim.ceil() as u64)
-            // With every quantum trimmed the bound is vacuous; availability
-            // 1 (the fair minimum) keeps the check meaningful instead.
-            .unwrap_or(1.0);
-    let bound =
-        bounds::theorem3_time_bound(run.work, run.span, c_l, rate, p_trimmed, quantum_len);
+    let p_trimmed = abg_sim::trimmed_availability(&availabilities, quantum_len, trim.ceil() as u64)
+        // With every quantum trimmed the bound is vacuous; availability
+        // 1 (the fair minimum) keeps the check meaningful instead.
+        .unwrap_or(1.0);
+    let bound = bounds::theorem3_time_bound(run.work, run.span, c_l, rate, p_trimmed, quantum_len);
     BoundCheck::le("theorem3-time", run.running_time as f64, bound)
 }
 
@@ -280,10 +276,8 @@ pub fn theorem5_check(
     let m_star = makespan_lower_bound(&sizes, processors);
     let r_star = response_lower_bound_batched(&sizes, processors);
 
-    let m_bound =
-        bounds::theorem5_makespan_bound(m_star, max_c_l, rate, quantum_len, set.len())?;
-    let r_bound =
-        bounds::theorem5_response_bound(r_star, max_c_l, rate, quantum_len, set.len())?;
+    let m_bound = bounds::theorem5_makespan_bound(m_star, max_c_l, rate, quantum_len, set.len())?;
+    let r_bound = bounds::theorem5_response_bound(r_star, max_c_l, rate, quantum_len, set.len())?;
     Some(vec![
         BoundCheck::le("theorem5-makespan", out.makespan as f64, m_bound),
         BoundCheck::le("theorem5-response", out.mean_response_time(), r_bound),

@@ -155,7 +155,10 @@ mod tests {
         // The desire must exceed A at least once (overshoot) and the
         // trajectory must not settle.
         let a = res.parallelism as f64;
-        assert!(reqs.iter().any(|&d| d > a), "expected overshoot in {reqs:?}");
+        assert!(
+            reqs.iter().any(|&d| d > a),
+            "expected overshoot in {reqs:?}"
+        );
         let tail: Vec<f64> = reqs[3..].to_vec();
         let min = tail.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = tail.iter().cloned().fold(0.0f64, f64::max);

@@ -37,7 +37,12 @@ fn glyph(allotment: u32, processors: u32) -> char {
 ///
 /// Panics if the outcome carries no traces (run the simulation with
 /// `with_traces`).
-pub fn render_gantt(outcome: &MultiJobOutcome, quantum_len: u64, processors: u32, max_columns: usize) -> String {
+pub fn render_gantt(
+    outcome: &MultiJobOutcome,
+    quantum_len: u64,
+    processors: u32,
+    max_columns: usize,
+) -> String {
     assert!(
         outcome.traces.iter().any(|t| !t.is_empty()),
         "no traces recorded; build the simulator with with_traces()"
@@ -137,12 +142,18 @@ mod tests {
         let lines: Vec<&str> = strip.lines().collect();
         assert_eq!(lines.len(), 2);
         let n = out.traces[0].len();
-        assert_eq!(lines[0].matches(|c| c != '|').count() - "requests   ".len(), n);
+        assert_eq!(
+            lines[0].matches(|c| c != '|').count() - "requests   ".len(),
+            n
+        );
     }
 
     #[test]
     fn glyphs_are_monotone_in_allotment() {
-        let order: Vec<char> = [0u32, 1, 2, 4, 8, 64].iter().map(|&a| glyph(a, 128)).collect();
+        let order: Vec<char> = [0u32, 1, 2, 4, 8, 64]
+            .iter()
+            .map(|&a| glyph(a, 128))
+            .collect();
         assert_eq!(order, vec!['.', '1', '2', '4', '8', '#']);
     }
 

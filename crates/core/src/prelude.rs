@@ -1,8 +1,6 @@
 //! Convenience re-exports of the types most programs need.
 
-pub use abg_alloc::{
-    Allocator, DynamicEquiPartition, Proportional, RoundRobin, Scripted,
-};
+pub use abg_alloc::{Allocator, DynamicEquiPartition, Proportional, RoundRobin, Scripted};
 pub use abg_control::{
     AControl, AGreedy, ClosedLoop, ConstantRequest, OracleRequest, RequestCalculator,
 };

@@ -48,7 +48,8 @@ impl Table {
             cells.len(),
             self.headers.len()
         );
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 
@@ -167,7 +168,12 @@ impl Chart {
         let max = finite.iter().cloned().fold(f64::MIN, f64::max);
         let min = finite.iter().cloned().fold(f64::MAX, f64::min);
         let span = (max - min).max(1e-12);
-        let width = self.series.iter().map(|(_, _, v)| v.len()).max().unwrap_or(0);
+        let width = self
+            .series
+            .iter()
+            .map(|(_, _, v)| v.len())
+            .max()
+            .unwrap_or(0);
 
         let mut grid = vec![vec![' '; width]; self.height];
         for (_, glyph, values) in &self.series {
@@ -280,7 +286,8 @@ mod tests {
     #[test]
     fn chart_overlays_multiple_series() {
         let mut c = Chart::new(4);
-        c.series("a", 'a', &[1.0, 1.0]).series("b", 'b', &[2.0, 2.0]);
+        c.series("a", 'a', &[1.0, 1.0])
+            .series("b", 'b', &[2.0, 2.0]);
         let s = c.render();
         assert!(s.contains('a') && s.contains('b'));
     }

@@ -35,7 +35,10 @@ impl std::fmt::Display for DagError {
             DagError::SelfLoop(t) => write!(f, "self-loop on task {t}"),
             DagError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
             DagError::Cycle { remaining } => {
-                write!(f, "precedence relation is cyclic ({remaining} tasks unordered)")
+                write!(
+                    f,
+                    "precedence relation is cyclic ({remaining} tasks unordered)"
+                )
             }
         }
     }
@@ -161,18 +164,22 @@ impl DagBuilder {
             }
         }
         if ordered != n {
-            return Err(DagError::Cycle { remaining: n - ordered });
+            return Err(DagError::Cycle {
+                remaining: n - ordered,
+            });
         }
         let span = level.iter().copied().max().unwrap_or(0) + 1;
         let mut level_sizes = vec![0u64; span as usize];
         for &l in &level {
             level_sizes[l as usize] += 1;
         }
+        let level_recip = level_sizes.iter().map(|&s| 1.0 / s as f64).collect();
         Ok(ExplicitDag {
             succs: self.succs,
             in_degree: self.in_degree,
             level,
             level_sizes,
+            level_recip,
         })
     }
 }
@@ -188,6 +195,10 @@ pub struct ExplicitDag {
     in_degree: Vec<u32>,
     level: Vec<Level>,
     level_sizes: Vec<u64>,
+    /// `1.0 / level_sizes[l]`, precomputed once so executors can charge a
+    /// completed task its fractional span contribution without a division
+    /// (or a level rescan) on the hot path.
+    level_recip: Vec<f64>,
 }
 
 impl ExplicitDag {
@@ -231,6 +242,23 @@ impl ExplicitDag {
     #[inline]
     pub fn level_sizes(&self) -> &[u64] {
         &self.level_sizes
+    }
+
+    /// Reciprocal level sizes, `level_recips()[l] == 1.0 / level_sizes()[l]`.
+    ///
+    /// Completing a task at level `l` contributes exactly this much
+    /// fractional span, so executors can maintain `T∞(q)` incrementally —
+    /// one lookup and add per completed task — instead of rescanning a
+    /// per-level counter vector at every quantum boundary.
+    #[inline]
+    pub fn level_recips(&self) -> &[f64] {
+        &self.level_recip
+    }
+
+    /// Fractional span contributed by one task at level `l`.
+    #[inline]
+    pub fn level_recip(&self, l: Level) -> f64 {
+        self.level_recip[l as usize]
     }
 
     /// Iterator over all task ids in id order.
@@ -339,8 +367,14 @@ mod tests {
         let mut b = DagBuilder::new();
         let t = b.add_task();
         let bogus = TaskId(7);
-        assert_eq!(b.add_edge(t, bogus).unwrap_err(), DagError::UnknownTask(bogus));
-        assert_eq!(b.add_edge(bogus, t).unwrap_err(), DagError::UnknownTask(bogus));
+        assert_eq!(
+            b.add_edge(t, bogus).unwrap_err(),
+            DagError::UnknownTask(bogus)
+        );
+        assert_eq!(
+            b.add_edge(bogus, t).unwrap_err(),
+            DagError::UnknownTask(bogus)
+        );
     }
 
     #[test]

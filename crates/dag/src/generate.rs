@@ -225,7 +225,10 @@ pub fn series_parallel<R: Rng + ?Sized>(
     series_prob: f64,
 ) -> ExplicitDag {
     assert!(budget > 0, "need a positive task budget");
-    assert!(max_branch >= 2, "parallel composition needs at least 2 branches");
+    assert!(
+        max_branch >= 2,
+        "parallel composition needs at least 2 branches"
+    );
     assert!(
         (0.0..=1.0).contains(&series_prob),
         "probability must be in [0, 1]"
@@ -415,7 +418,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         for budget in [1u32, 2, 7, 40, 200] {
             let d = series_parallel(&mut rng, budget, 4, 0.5);
-            assert!(d.work() >= budget as u64, "budget {budget}: work {}", d.work());
+            assert!(
+                d.work() >= budget as u64,
+                "budget {budget}: work {}",
+                d.work()
+            );
             assert_eq!(d.sources().count(), 1, "budget {budget}");
             assert_eq!(d.sinks().count(), 1, "budget {budget}");
         }

@@ -24,7 +24,10 @@ impl ParallelismProfile {
     /// Panics if `widths` is empty or contains zeros.
     pub fn new(widths: Vec<u64>) -> Self {
         assert!(!widths.is_empty(), "profile must cover at least one level");
-        assert!(widths.iter().all(|&w| w > 0), "profile widths must be positive");
+        assert!(
+            widths.iter().all(|&w| w > 0),
+            "profile widths must be positive"
+        );
         Self { widths }
     }
 

@@ -24,9 +24,8 @@ fn brute_force_levels(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
 fn forward_dags() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
     (2usize..24).prop_flat_map(|n| {
         let edges = prop::collection::vec(
-            (0..(n as u32 - 1)).prop_flat_map(move |a| {
-                ((a + 1)..n as u32).prop_map(move |b| (a, b))
-            }),
+            (0..(n as u32 - 1))
+                .prop_flat_map(move |a| ((a + 1)..n as u32).prop_map(move |b| (a, b))),
             0..40,
         );
         (Just(n), edges)

@@ -130,7 +130,12 @@ mod tests {
             let f = fast.run_quantum(a, quantum_len);
             let s = slow.run_quantum(a, quantum_len);
             assert_eq!(f.work, s.work, "quantum {i}: work");
-            assert!((f.span - s.span).abs() < 1e-9, "quantum {i}: span {} vs {}", f.span, s.span);
+            assert!(
+                (f.span - s.span).abs() < 1e-9,
+                "quantum {i}: span {} vs {}",
+                f.span,
+                s.span
+            );
             assert_eq!(f.steps_worked, s.steps_worked, "quantum {i}: steps");
             assert_eq!(f.completed, s.completed, "quantum {i}: completed");
             if fast.is_complete() {

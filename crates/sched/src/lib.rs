@@ -35,6 +35,7 @@ pub mod leveled_exec;
 pub mod pipelined_exec;
 pub mod quantum;
 pub mod queue;
+pub mod reference;
 
 pub use executor::{
     BGreedyExecutor, DagExecutor, DepthFirstExecutor, GreedyExecutor, OwnedBGreedyExecutor,
@@ -43,6 +44,7 @@ pub use leveled_exec::LeveledExecutor;
 pub use pipelined_exec::PipelinedExecutor;
 pub use quantum::QuantumStats;
 pub use queue::{BreadthFirstQueue, FifoQueue, LifoQueue, ReadyQueue};
+pub use reference::{ReferenceBGreedyExecutor, ReferenceExecutor};
 
 /// A task scheduler bound to one job, executing it quantum by quantum.
 ///

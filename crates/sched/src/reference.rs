@@ -1,0 +1,185 @@
+//! The naive per-step reference kernel.
+//!
+//! [`ReferenceExecutor`] preserves the original, pre-optimisation
+//! execution kernel: one task at a time through the ready queue, the dag
+//! handle re-borrowed at every access, and the quantum span recovered by
+//! cloning the per-level completion counters at the quantum boundary and
+//! rescanning all `T∞` levels — `O(T∞)` per quantum regardless of how
+//! little work the quantum did.
+//!
+//! It exists for two reasons:
+//!
+//! 1. **Equivalence testing.** The optimised
+//!    [`DagExecutor`](crate::DagExecutor) must produce bit-identical
+//!    [`QuantumStats`] on every quantum; the `executor_equivalence`
+//!    proptest suite drives both kernels in lockstep over random dags.
+//!    To make the span comparison exact rather than approximate, the
+//!    reference accumulates span per completed task in pop order as
+//!    `1.0 / level_size` — IEEE division yields exactly the value the
+//!    optimised kernel reads from the precomputed reciprocal table, and
+//!    the addition order matches, so the sums are bit-equal. The legacy
+//!    rescan formula (`Δcompleted / size` summed per level) is still
+//!    computed every quantum and cross-checked against the per-task sum
+//!    to within `1e-9`, guarding against semantic drift in either.
+//! 2. **Benchmarking the before/after.** `cargo bench -p abg-bench` and
+//!    the CLI `bench` subcommand run the same microkernels through this
+//!    executor and the optimised one, so the speedup claimed by the
+//!    kernel overhaul stays measurable in every future checkout.
+
+use crate::quantum::QuantumStats;
+use crate::queue::{BreadthFirstQueue, ReadyQueue};
+use crate::JobExecutor;
+use abg_dag::{ExplicitDag, TaskId};
+use std::borrow::Borrow;
+
+/// The pre-overhaul per-task executor: per-step loop, per-access dag
+/// borrow, and an `O(T∞)` clone-and-rescan of the per-level completion
+/// counters at every quantum boundary.
+///
+/// Semantically identical to [`DagExecutor`](crate::DagExecutor) with the
+/// same queue discipline; see the module docs for why it is kept.
+#[derive(Debug)]
+pub struct ReferenceExecutor<D: Borrow<ExplicitDag>, Q: ReadyQueue> {
+    dag: D,
+    remaining_preds: Vec<u32>,
+    ready: Q,
+    completed_per_level: Vec<u64>,
+    completed: u64,
+    elapsed: u64,
+    batch: Vec<TaskId>,
+}
+
+/// Reference B-Greedy (breadth-first) executor over a borrowed dag.
+pub type ReferenceBGreedyExecutor<'a> = ReferenceExecutor<&'a ExplicitDag, BreadthFirstQueue>;
+
+impl<D: Borrow<ExplicitDag>, Q: ReadyQueue> ReferenceExecutor<D, Q> {
+    /// Creates an executor at the start of the job: all sources ready.
+    pub fn new(dag_handle: D) -> Self {
+        let dag = dag_handle.borrow();
+        let mut ready = Q::default();
+        for t in dag.sources() {
+            ready.push(t, dag.level(t));
+        }
+        let remaining_preds = (0..dag.num_tasks() as u32)
+            .map(|i| dag.in_degree(TaskId(i)))
+            .collect();
+        let completed_per_level = vec![0; dag.span() as usize];
+        Self {
+            dag: dag_handle,
+            remaining_preds,
+            ready,
+            completed_per_level,
+            completed: 0,
+            elapsed: 0,
+            batch: Vec::new(),
+        }
+    }
+
+    /// One time step; returns tasks completed and adds each task's
+    /// fractional span contribution to `span` in pop order.
+    fn step(&mut self, allotment: u32, span: &mut f64) -> u64 {
+        let k = (allotment as usize).min(self.ready.len());
+        self.batch.clear();
+        for _ in 0..k {
+            let t = self.ready.pop().expect("queue length checked");
+            self.batch.push(t);
+        }
+        for i in 0..self.batch.len() {
+            let t = self.batch[i];
+            let l = self.dag.borrow().level(t) as usize;
+            self.completed_per_level[l] += 1;
+            *span += 1.0 / self.dag.borrow().level_sizes()[l] as f64;
+            for &s in self.dag.borrow().successors(t) {
+                let r = &mut self.remaining_preds[s.index()];
+                *r -= 1;
+                if *r == 0 {
+                    self.ready.push(s, self.dag.borrow().level(s));
+                }
+            }
+        }
+        let done = self.batch.len() as u64;
+        self.completed += done;
+        done
+    }
+}
+
+impl<D: Borrow<ExplicitDag>, Q: ReadyQueue> JobExecutor for ReferenceExecutor<D, Q> {
+    fn run_quantum(&mut self, allotment: u32, steps: u64) -> QuantumStats {
+        let before = self.completed_per_level.clone();
+        let mut work = 0u64;
+        let mut steps_worked = 0u64;
+        let mut span = 0.0f64;
+        if allotment > 0 {
+            for _ in 0..steps {
+                if self.is_complete() {
+                    break;
+                }
+                let done = self.step(allotment, &mut span);
+                debug_assert!(done > 0, "a live job always has a ready task");
+                work += done;
+                steps_worked += 1;
+                self.elapsed += 1;
+            }
+        }
+        // The legacy O(T∞) rescan; kept live (a plain assert, present in
+        // release builds too) so the reference both pays the original
+        // per-quantum cost in benchmarks and cross-checks the per-task
+        // accumulation for semantic drift.
+        let rescan: f64 = self
+            .completed_per_level
+            .iter()
+            .zip(&before)
+            .zip(self.dag.borrow().level_sizes())
+            .map(|((now, was), &size)| (now - was) as f64 / size as f64)
+            .sum();
+        assert!(
+            (rescan - span).abs() < 1e-9,
+            "per-task span {span} diverged from per-level rescan {rescan}"
+        );
+        QuantumStats {
+            allotment,
+            quantum_len: steps,
+            steps_worked,
+            work,
+            span,
+            completed: self.is_complete(),
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.completed == self.dag.borrow().work()
+    }
+
+    fn total_work(&self) -> u64 {
+        self.dag.borrow().work()
+    }
+
+    fn total_span(&self) -> u64 {
+        self.dag.borrow().span()
+    }
+
+    fn completed_work(&self) -> u64 {
+        self.completed
+    }
+
+    fn elapsed_steps(&self) -> u64 {
+        self.elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abg_dag::generate::figure2_job;
+
+    #[test]
+    fn reference_reproduces_figure2() {
+        let d = figure2_job();
+        let mut ex = ReferenceBGreedyExecutor::new(&d);
+        let warmup = ex.run_quantum(1, 2);
+        assert_eq!(warmup.work, 2);
+        let q = ex.run_quantum(4, 3);
+        assert_eq!(q.work, 12);
+        assert!((q.span - 2.4).abs() < 1e-12, "span = {}", q.span);
+    }
+}

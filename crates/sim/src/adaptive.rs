@@ -130,6 +130,9 @@ where
     let mut reallocations = 0u64;
     let mut prev_allotment: Option<u32> = None;
     let mut trace = Vec::new();
+    // Reused across quanta; keeps the loop allocation-free at steady
+    // state like `run_single_job`.
+    let mut allotments: Vec<u32> = Vec::with_capacity(1);
 
     while !executor.is_complete() {
         assert!(
@@ -137,7 +140,8 @@ where
             "job did not finish within {} quanta (livelock?)",
             config.max_quanta
         );
-        let allotment = allocator.allocate(&[request])[0];
+        allocator.allocate_into(std::slice::from_ref(&request), &mut allotments);
+        let allotment = allotments[0];
         if prev_allotment.is_some_and(|p| p != allotment) {
             reallocations += 1;
         }
@@ -145,7 +149,11 @@ where
         let stats = executor.run_quantum(allotment, len);
         quanta += 1;
         waste += stats.waste();
-        running_time += if stats.completed { stats.steps_worked } else { len };
+        running_time += if stats.completed {
+            stats.steps_worked
+        } else {
+            len
+        };
         let record = QuantumRecord {
             index: quanta as u32,
             start_step: running_time.saturating_sub(len),

@@ -134,6 +134,9 @@ where
     let mut reallocations = 0u64;
     let mut prev_allotment: Option<u32> = None;
     let mut trace = Vec::new();
+    // Reused across quanta so the steady-state loop performs no heap
+    // allocation (tracing, when enabled, allocates by design).
+    let mut allotments: Vec<u32> = Vec::with_capacity(1);
 
     while !executor.is_complete() {
         assert!(
@@ -146,7 +149,8 @@ where
         } else {
             None
         };
-        let allotment = allocator.allocate(&[request])[0];
+        allocator.allocate_into(std::slice::from_ref(&request), &mut allotments);
+        let allotment = allotments[0];
         // A changed allotment burns the first `reallocation_overhead`
         // steps of the quantum before any task runs.
         let overhead = if prev_allotment.is_some_and(|p| p != allotment) {
@@ -210,9 +214,17 @@ mod tests {
         assert_eq!(run.work, 4000);
         assert_eq!(run.span, 400);
         // Requests converge to 10 quickly; waste is a small fraction of work.
-        assert!(run.waste_over_work() < 0.2, "waste/work = {}", run.waste_over_work());
+        assert!(
+            run.waste_over_work() < 0.2,
+            "waste/work = {}",
+            run.waste_over_work()
+        );
         // Once converged, one quantum advances ~20 levels: near-optimal time.
-        assert!(run.time_over_span() < 1.5, "T/T∞ = {}", run.time_over_span());
+        assert!(
+            run.time_over_span() < 1.5,
+            "T/T∞ = {}",
+            run.time_over_span()
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Job sets with a target system load (the Figure-6 workload).
 
-use crate::release::ReleaseSchedule;
 use crate::mixed_factor_job;
+use crate::release::ReleaseSchedule;
 use abg_dag::PhasedJob;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -139,7 +139,11 @@ mod tests {
             assert!(!set.is_empty());
             // Load overshoots by at most one job's parallelism.
             assert!(set.load() >= load || set.len() == set.jobs.capacity().max(32));
-            assert!(set.load() <= load + 10.0 / 32.0 + 1.0, "load {}", set.load());
+            assert!(
+                set.load() <= load + 10.0 / 32.0 + 1.0,
+                "load {}",
+                set.load()
+            );
         }
     }
 

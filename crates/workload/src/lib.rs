@@ -140,7 +140,9 @@ mod tests {
     #[test]
     fn paper_job_varies_work_at_fixed_factor() {
         let mut rng = StdRng::seed_from_u64(5);
-        let works: Vec<u64> = (0..8).map(|_| paper_job(10, 16, 3, &mut rng).work()).collect();
+        let works: Vec<u64> = (0..8)
+            .map(|_| paper_job(10, 16, 3, &mut rng).work())
+            .collect();
         let all_same = works.windows(2).all(|w| w[0] == w[1]);
         assert!(!all_same, "work should vary across samples: {works:?}");
     }
@@ -160,7 +162,10 @@ mod tests {
         for _ in 0..64 {
             widths.insert(mixed_factor_job(10, 8, 2, &mut rng).max_width());
         }
-        assert!(widths.len() > 3, "expected a spread of factors, got {widths:?}");
+        assert!(
+            widths.len() > 3,
+            "expected a spread of factors, got {widths:?}"
+        );
         assert!(widths.iter().all(|&w| (2..=10).contains(&w)));
     }
 }

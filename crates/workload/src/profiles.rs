@@ -106,8 +106,7 @@ mod tests {
             assert_eq!(p.levels, 3);
         }
         // A walk actually moves.
-        let widths: std::collections::HashSet<u64> =
-            job.phases().iter().map(|p| p.width).collect();
+        let widths: std::collections::HashSet<u64> = job.phases().iter().map(|p| p.width).collect();
         assert!(widths.len() > 2, "walk stuck: {widths:?}");
     }
 

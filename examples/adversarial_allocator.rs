@@ -43,8 +43,8 @@ fn main() {
         .iter()
         .map(|r| r.availability.expect("traced"))
         .collect();
-    let naive_mean = availabilities.iter().map(|&p| p as f64).sum::<f64>()
-        / availabilities.len() as f64;
+    let naive_mean =
+        availabilities.iter().map(|&p| p as f64).sum::<f64>() / availabilities.len() as f64;
 
     // Measure the transition factor this schedule actually exhibited.
     let c_l = {
@@ -60,11 +60,14 @@ fn main() {
     };
 
     let trim_steps = bounds::theorem3_trim_steps(run.span, c_l, rate, quantum_len);
-    let p_trimmed = trimmed_availability(&availabilities, quantum_len, trim_steps.ceil() as u64)
-        .unwrap_or(1.0);
+    let p_trimmed =
+        trimmed_availability(&availabilities, quantum_len, trim_steps.ceil() as u64).unwrap_or(1.0);
     let bound = bounds::theorem3_time_bound(run.work, run.span, c_l, rate, p_trimmed, quantum_len);
 
-    println!("job: T1 = {}, T∞ = {}, measured C_L = {:.1}", run.work, run.span, c_l);
+    println!(
+        "job: T1 = {}, T∞ = {}, measured C_L = {:.1}",
+        run.work, run.span, c_l
+    );
     println!("adversarial availability: mean {naive_mean:.1} processors/quantum");
     println!(
         "  …but the {:.0}-step-trimmed availability is only {:.2} processors",
@@ -72,7 +75,10 @@ fn main() {
     );
     println!();
     println!("running time:        {:>8} steps", run.running_time);
-    println!("Theorem-3 bound:     {:>8.0} steps  (2·T1/P̃ + (C_L+1-2r)/(1-r)·T∞ + L)", bound);
+    println!(
+        "Theorem-3 bound:     {:>8.0} steps  (2·T1/P̃ + (C_L+1-2r)/(1-r)·T∞ + L)",
+        bound
+    );
     println!(
         "naive 'bound' using the untrimmed mean would be {:.0} steps — the\n\
          adversary's generosity bursts make it unobtainable; trim analysis\n\

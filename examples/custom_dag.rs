@@ -14,7 +14,11 @@ use abg::prelude::*;
 fn main() {
     // ── Figure 2: one source forking into five 3-task chains. ──────
     let dag = abg_dag::generate::figure2_job();
-    println!("Figure-2 job ({} tasks, {} levels):", dag.work(), dag.span());
+    println!(
+        "Figure-2 job ({} tasks, {} levels):",
+        dag.work(),
+        dag.span()
+    );
     println!("{}", dag.to_dot("figure2"));
 
     let mut ex = BGreedyExecutor::new(&dag);

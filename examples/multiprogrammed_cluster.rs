@@ -68,7 +68,11 @@ fn main() {
         .jobs
         .iter()
         .zip(&set.releases)
-        .map(|(j, &r)| JobSize { work: j.work(), span: j.span(), release: r })
+        .map(|(j, &r)| JobSize {
+            work: j.work(),
+            span: j.span(),
+            release: r,
+        })
         .collect();
     let m_star = makespan_lower_bound(&sizes, set.processors);
     let r_star = response_lower_bound_batched(&sizes, set.processors);
@@ -96,5 +100,8 @@ fn main() {
     );
 
     println!("\nABG allotment Gantt (watch DEQ water-fill as jobs finish):");
-    print!("{}", abg::gantt::render_gantt(&abg, set.quantum_len, set.processors, 72));
+    print!(
+        "{}",
+        abg::gantt::render_gantt(&abg, set.quantum_len, set.processors, 72)
+    );
 }

@@ -2,10 +2,11 @@
 //! of per-task B-Greedy execution, and every greedy variant respects
 //! the classical greedy-scheduling bounds.
 
-use abg_dag::{generate, LeveledJob, Phase, PhasedJob};
+use abg_dag::{generate, ExplicitDag, LeveledJob, Phase, PhasedJob};
+use abg_sched::queue::{BreadthFirstQueue, FifoQueue, LifoQueue};
 use abg_sched::{
-    BGreedyExecutor, DepthFirstExecutor, GreedyExecutor, JobExecutor, LeveledExecutor,
-    PipelinedExecutor,
+    BGreedyExecutor, DagExecutor, DepthFirstExecutor, GreedyExecutor, JobExecutor, LeveledExecutor,
+    PipelinedExecutor, ReadyQueue, ReferenceExecutor,
 };
 use proptest::prelude::*;
 
@@ -128,6 +129,81 @@ proptest! {
                     "α = {alpha}, β = {beta} on a full quantum with L = {l}");
             }
         }
+    }
+
+    /// The macro-stepping kernel is *bit-identical* to the naive
+    /// per-step reference kernel — same work, same steps, same span down
+    /// to the last ulp (the reference's per-task `1.0 / size` divisions
+    /// are exactly the optimised kernel's reciprocal-table reads, added
+    /// in the same pop order) — on random layered dags under random
+    /// allotment/quantum-length schedules, for every queue discipline.
+    /// Zero-allotment quanta are included: both kernels must treat them
+    /// as pure no-ops.
+    #[test]
+    fn macro_kernel_bit_identical_to_reference(
+        seed in 0u64..1000,
+        sched in prop::collection::vec((0u32..=12, 1u64..=16), 1..40),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dag = generate::random_layered(&mut rng, 6, 1..=5, 0.3);
+        lockstep::<BreadthFirstQueue>(&dag, &sched);
+        lockstep::<FifoQueue>(&dag, &sched);
+        lockstep::<LifoQueue>(&dag, &sched);
+    }
+
+    /// Driven to completion with generous quanta, both kernels agree on
+    /// the totals and on completing at all.
+    #[test]
+    fn macro_kernel_completes_like_reference(seed in 0u64..500, a in 1u32..10, l in 1u64..20) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dag = generate::random_layered(&mut rng, 5, 1..=6, 0.4);
+        let mut fast = BGreedyExecutor::new(&dag);
+        let mut slow: ReferenceExecutor<&ExplicitDag, BreadthFirstQueue> =
+            ReferenceExecutor::new(&dag);
+        let mut fast_span = 0.0f64;
+        let mut slow_span = 0.0f64;
+        while !fast.is_complete() {
+            fast_span += fast.run_quantum(a, l).span;
+            slow_span += slow.run_quantum(a, l).span;
+        }
+        prop_assert!(slow.is_complete());
+        prop_assert_eq!(fast.elapsed_steps(), slow.elapsed_steps());
+        prop_assert_eq!(fast.completed_work(), dag.work());
+        prop_assert_eq!(fast_span.to_bits(), slow_span.to_bits(),
+            "accumulated span {} vs {}", fast_span, slow_span);
+        prop_assert!((fast_span - dag.span() as f64).abs() < 1e-9);
+    }
+}
+
+/// Runs the optimised and reference kernels in lockstep over the same
+/// quantum schedule and asserts bit-identical [`abg_sched::QuantumStats`]
+/// plus matching executor-level counters after every quantum.
+fn lockstep<Q: ReadyQueue>(dag: &ExplicitDag, sched: &[(u32, u64)]) {
+    let mut fast: DagExecutor<&ExplicitDag, Q> = DagExecutor::new(dag);
+    let mut slow: ReferenceExecutor<&ExplicitDag, Q> = ReferenceExecutor::new(dag);
+    for &(a, l) in sched {
+        let f = fast.run_quantum(a, l);
+        let s = slow.run_quantum(a, l);
+        assert_eq!(f.allotment, s.allotment);
+        assert_eq!(f.quantum_len, s.quantum_len);
+        assert_eq!(f.work, s.work, "work diverged at (a={a}, l={l})");
+        assert_eq!(
+            f.steps_worked, s.steps_worked,
+            "steps diverged at (a={a}, l={l})"
+        );
+        assert_eq!(
+            f.span.to_bits(),
+            s.span.to_bits(),
+            "span diverged at (a={a}, l={l}): {} vs {}",
+            f.span,
+            s.span
+        );
+        assert_eq!(f.completed, s.completed);
+        assert_eq!(fast.completed_work(), slow.completed_work());
+        assert_eq!(fast.elapsed_steps(), slow.elapsed_steps());
+        assert_eq!(fast.is_complete(), slow.is_complete());
     }
 }
 

@@ -66,7 +66,12 @@ fn asteal_releases_processors_in_serial_phases() {
         "A-Steal mean allotment {}",
         mean_allot(&asteal)
     );
-    assert!(abp.waste > 2 * asteal.waste, "{} vs {}", abp.waste, asteal.waste);
+    assert!(
+        abp.waste > 2 * asteal.waste,
+        "{} vs {}",
+        abp.waste,
+        asteal.waste
+    );
 }
 
 /// The adaptive quantum policy dominates the fixed policies on the
@@ -84,7 +89,12 @@ fn adaptive_quantum_frontier() {
     let (long, _) = run(&mut FixedQuantum(400));
     let (adaptive, _) = run(&mut AdaptiveQuantum::new(25, 400, 0.05));
 
-    assert!(adaptive.quanta < short.quanta, "{} vs {}", adaptive.quanta, short.quanta);
+    assert!(
+        adaptive.quanta < short.quanta,
+        "{} vs {}",
+        adaptive.quanta,
+        short.quanta
+    );
     assert!(
         adaptive.running_time <= long.running_time,
         "{} vs {}",
@@ -124,7 +134,11 @@ fn governed_rate_end_to_end() {
     let run = run_single_job(&mut ex, &mut ctl, &mut alloc, SingleJobConfig::new(50));
     // Quanta blend the serial and parallel phases, so the measured
     // factor is well below the width-24 peak but still far above 1.
-    assert!(ctl.estimated_factor() >= 3.0, "Ĉ_L = {}", ctl.estimated_factor());
+    assert!(
+        ctl.estimated_factor() >= 3.0,
+        "Ĉ_L = {}",
+        ctl.estimated_factor()
+    );
     assert!(ctl.effective_rate() * ctl.estimated_factor() < 1.0);
     assert!(run.time_over_span() < 1.6);
 }

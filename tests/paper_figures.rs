@@ -29,9 +29,15 @@ fn figure1_agreedy_request_instability() {
     let tail: Vec<f64> = res.agreedy[4..].iter().map(|p| p.request).collect();
     let min = tail.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = tail.iter().cloned().fold(0.0f64, f64::max);
-    assert!(max / min >= 2.0 - 1e-9, "no sustained oscillation: {tail:?}");
+    assert!(
+        max / min >= 2.0 - 1e-9,
+        "no sustained oscillation: {tail:?}"
+    );
     // And the oscillation brackets the true parallelism.
-    assert!(min < 10.0 && max > 10.0, "oscillation should straddle A: {min}..{max}");
+    assert!(
+        min < 10.0 && max > 10.0,
+        "oscillation should straddle A: {min}..{max}"
+    );
 }
 
 /// Figure 2: the worked example's exact quantum statistics.
@@ -69,7 +75,13 @@ fn figure4_transient_comparison() {
     // The exact trajectory of Equation (3): d(q+1) = r·d(q) + (1-r)·A.
     let mut d = 1.0;
     for p in &res.abg {
-        assert!((p.request - d).abs() < 1e-9, "q={}: {} vs {}", p.quantum, p.request, d);
+        assert!(
+            (p.request - d).abs() < 1e-9,
+            "q={}: {} vs {}",
+            p.quantum,
+            p.request,
+            d
+        );
         d = cfg.rate * d + (1.0 - cfg.rate) * a;
     }
 
@@ -103,8 +115,14 @@ fn figure5_single_job_sweep_shape() {
 
     // ABG's normalized time moves little across a 40× factor range.
     let abg_spread = pts.iter().map(|p| p.abg_time_norm).fold(0.0f64, f64::max)
-        - pts.iter().map(|p| p.abg_time_norm).fold(f64::INFINITY, f64::min);
-    assert!(abg_spread < 0.5, "ABG should be factor-insensitive, spread {abg_spread}");
+        - pts
+            .iter()
+            .map(|p| p.abg_time_norm)
+            .fold(f64::INFINITY, f64::min);
+    assert!(
+        abg_spread < 0.5,
+        "ABG should be factor-insensitive, spread {abg_spread}"
+    );
 
     // Sanity: measured factors track the targets.
     for p in &pts {
@@ -130,8 +148,16 @@ fn figure6_multiprogrammed_shape() {
 
     // Light load: ABG ahead on both global metrics.
     let light = &pts[0];
-    assert!(light.makespan_ratio > 1.02, "light-load makespan ratio {}", light.makespan_ratio);
-    assert!(light.response_ratio > 1.02, "light-load response ratio {}", light.response_ratio);
+    assert!(
+        light.makespan_ratio > 1.02,
+        "light-load makespan ratio {}",
+        light.makespan_ratio
+    );
+    assert!(
+        light.response_ratio > 1.02,
+        "light-load response ratio {}",
+        light.response_ratio
+    );
 
     // Heavy load: the advantage diminishes (requests are deprived).
     let heavy = pts.last().unwrap();
@@ -141,7 +167,11 @@ fn figure6_multiprogrammed_shape() {
         heavy.makespan_ratio,
         light.makespan_ratio
     );
-    assert!(heavy.makespan_ratio < 1.05, "heavy-load ratio {}", heavy.makespan_ratio);
+    assert!(
+        heavy.makespan_ratio < 1.05,
+        "heavy-load ratio {}",
+        heavy.makespan_ratio
+    );
 
     // All normalized metrics are ≥ 1 (lower bounds are real bounds).
     for p in &pts {
@@ -153,7 +183,13 @@ fn figure6_multiprogrammed_shape() {
 
     // The rise-then-fall of M/M* (two lower bounds crossing over).
     let first = pts.first().unwrap().abg_makespan_norm;
-    let peak = pts.iter().map(|p| p.abg_makespan_norm).fold(0.0f64, f64::max);
+    let peak = pts
+        .iter()
+        .map(|p| p.abg_makespan_norm)
+        .fold(0.0f64, f64::max);
     let last = pts.last().unwrap().abg_makespan_norm;
-    assert!(peak >= first && peak >= last, "expected a peak: {first} .. {peak} .. {last}");
+    assert!(
+        peak >= first && peak >= last,
+        "expected a peak: {first} .. {peak} .. {last}"
+    );
 }

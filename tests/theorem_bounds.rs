@@ -52,7 +52,10 @@ fn theorem3_time_bound_under_adversaries() {
         for factor in [2u64, 5, 10, 20, 50] {
             for rate in [0.0, 0.2, 0.5, 0.8] {
                 let check = theorem3_check(factor, rate, 100, 3, 64, seed);
-                assert!(check.holds, "factor {factor}, rate {rate}, seed {seed}: {check:?}");
+                assert!(
+                    check.holds,
+                    "factor {factor}, rate {rate}, seed {seed}: {check:?}"
+                );
             }
         }
     }
@@ -66,12 +69,18 @@ fn theorem4_waste_bound_when_applicable() {
             for rate in [0.0, 0.05, 0.2] {
                 if let Some(check) = theorem4_check(factor, rate, 100, 3, 128, seed) {
                     applicable += 1;
-                    assert!(check.holds, "factor {factor}, rate {rate}, seed {seed}: {check:?}");
+                    assert!(
+                        check.holds,
+                        "factor {factor}, rate {rate}, seed {seed}: {check:?}"
+                    );
                 }
             }
         }
     }
-    assert!(applicable >= 10, "too few applicable configurations ({applicable})");
+    assert!(
+        applicable >= 10,
+        "too few applicable configurations ({applicable})"
+    );
 }
 
 #[test]
@@ -87,7 +96,10 @@ fn theorem5_global_bounds_hold() {
             }
         }
     }
-    assert!(applicable >= 6, "too few applicable job sets ({applicable})");
+    assert!(
+        applicable >= 6,
+        "too few applicable job sets ({applicable})"
+    );
 }
 
 #[test]

@@ -1,0 +1,214 @@
+//! Offline stub of `criterion`.
+//!
+//! The build container has no registry access, so this crate provides a
+//! minimal wall-clock benchmark runner behind the criterion API the
+//! workspace's benches use (`benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros). Each benchmark is
+//! auto-calibrated to a short measurement window and reports the mean
+//! time per iteration on stdout — useful for relative comparisons, with
+//! none of criterion's statistics, warm-up discipline, or HTML reports.
+//! The `[patch.crates-io]` entry in the root `Cargo.toml` routes
+//! `criterion` here; delete the patch for real statistical runs when a
+//! registry is reachable.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement window per benchmark. Kept short: the stub exists
+/// so `cargo bench` runs and prints comparable numbers, not to publish
+/// statistically rigorous results.
+const TARGET: Duration = Duration::from_millis(300);
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name: `&str` or a `BenchmarkId`.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+pub struct Bencher {
+    /// Mean wall time per iteration from the last `iter` call.
+    mean: Duration,
+    iters_run: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up call, then time a single iteration to pick a batch
+        // size that fills the target window.
+        std::hint::black_box(routine());
+        let probe_start = Instant::now();
+        std::hint::black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+        let batch = (TARGET.as_nanos() / probe.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(routine());
+        }
+        let total = start.elapsed();
+        self.mean = total / batch as u32;
+        self.iters_run = batch;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: Option<&str>, id: &str, throughput: Option<Throughput>, mut f: F) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let mut bencher = Bencher {
+        mean: Duration::ZERO,
+        iters_run: 0,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.mean;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+            let per_sec = n as f64 / per_iter.as_secs_f64();
+            format!("  thrpt: {per_sec:.3e} elem/s")
+        }
+        Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+            let per_sec = n as f64 / per_iter.as_secs_f64();
+            format!("  thrpt: {per_sec:.3e} B/s")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench: {full:<48} time: {per_iter:>12.3?} ({} iters){rate}",
+        bencher.iters_run
+    );
+}
+
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        run_one(Some(&self.name), &id.into_id(), self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(Some(&self.name), &id.into_id(), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        run_one(None, &id.into_id(), None, f);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Re-export so `criterion::black_box` also resolves.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,11 @@
+//! Offline stub of `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as an API
+//! affordance for downstream consumers; nothing in-repo serializes. This
+//! stub re-exports no-op derive macros so the workspace builds in the
+//! network-less container. The `[patch.crates-io]` entry in the root
+//! `Cargo.toml` routes `serde = "1.0"` here; delete the patch to use the
+//! real crate when a registry is reachable.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

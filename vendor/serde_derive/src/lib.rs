@@ -1,0 +1,24 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The ABG workspace derives `Serialize`/`Deserialize` on its data types
+//! for downstream consumers, but no code path in the repo performs wire
+//! (de)serialization. The build container has no network access to
+//! crates.io, so this stub satisfies the derive syntax with an empty
+//! expansion; swap the `[patch.crates-io]` entry out to restore the real
+//! implementation.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: accepts (and ignores) `#[serde(...)]`
+/// helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: accepts (and ignores) `#[serde(...)]`
+/// helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
