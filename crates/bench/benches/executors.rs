@@ -36,7 +36,7 @@ fn bench_executors(c: &mut Criterion) {
     g.bench_function("leveled_fast_path", |b| {
         let job = LeveledJob::constant(width, levels);
         b.iter(|| {
-            let mut ex = LeveledExecutor::new(black_box(job.clone()));
+            let mut ex = LeveledExecutor::new(black_box(&job));
             while !ex.is_complete() {
                 black_box(ex.run_quantum(8, 100));
             }
@@ -47,7 +47,7 @@ fn bench_executors(c: &mut Criterion) {
     g.bench_function("pipelined_fast_path", |b| {
         let job = PhasedJob::constant(width, levels);
         b.iter(|| {
-            let mut ex = PipelinedExecutor::new(black_box(job.clone()));
+            let mut ex = PipelinedExecutor::new(black_box(&job));
             while !ex.is_complete() {
                 black_box(ex.run_quantum(8, 100));
             }
@@ -116,7 +116,7 @@ fn bench_pipelined_scaling(c: &mut Criterion) {
         );
         g.bench_with_input(BenchmarkId::from_parameter(phases), &job, |b, job| {
             b.iter(|| {
-                let mut ex = PipelinedExecutor::new(job.clone());
+                let mut ex = PipelinedExecutor::new(job);
                 // One huge quantum sweeps every phase.
                 black_box(ex.run_quantum(16, u64::MAX))
             })

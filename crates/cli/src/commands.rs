@@ -634,6 +634,45 @@ fn bench_json(
     s
 }
 
+/// Extracts the named kernel's `steps_per_sec` from a baseline JSON
+/// document produced by [`bench_json`] (hand-rolled scan; the workspace
+/// deliberately has no JSON dependency).
+fn baseline_steps_per_sec(json: &str, kernel: &str) -> Option<f64> {
+    let marker = format!("\"kernel\": \"{kernel}\"");
+    let rest = &json[json.find(&marker)?..];
+    let row = &rest[..rest.find('}')?];
+    let key = "\"steps_per_sec\": ";
+    let val = &row[row.find(key)? + key.len()..];
+    val.trim().trim_end_matches(',').trim().parse().ok()
+}
+
+/// The `--check` regression gate: the fresh `chain_macro` throughput
+/// must stay above 70% of the committed baseline. The hot-loop kernels
+/// are stable well within that band on an otherwise idle machine, so a
+/// trip means a real regression, not noise.
+fn bench_check(path: &str, results: &[abg::experiments::KernelResult]) -> Result<(), String> {
+    let baseline =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let base = baseline_steps_per_sec(&baseline, "chain_macro")
+        .ok_or_else(|| format!("no chain_macro steps_per_sec in {path}"))?;
+    let cur = results
+        .iter()
+        .find(|r| r.kernel == "chain_macro")
+        .map(|r| r.steps_per_sec)
+        .ok_or("suite did not run chain_macro")?;
+    let floor = base * 0.7;
+    if cur < floor {
+        return Err(format!(
+            "chain_macro regression: {cur:.0} steps/s is below 70% of baseline {base:.0} \
+             (floor {floor:.0}, from {path})"
+        ));
+    }
+    println!(
+        "bench check ok: chain_macro {cur:.0} steps/s vs baseline {base:.0} (floor {floor:.0})"
+    );
+    Ok(())
+}
+
 fn bench(opts: &Options) -> Result<(), String> {
     let mode = match opts.positional.first().map(String::as_str) {
         None => "full",
@@ -647,6 +686,13 @@ fn bench(opts: &Options) -> Result<(), String> {
     };
     if let Some(seed) = opts.seed {
         cfg.seed = seed;
+    }
+    if opts.check.is_some() {
+        // The smoke suite's few-ms windows are fine for "does every
+        // kernel run" but far too jittery to gate on: back-to-back
+        // 2 ms chain_macro samples vary by 4× on a shared machine.
+        // Gated runs measure long enough to amortize scheduler noise.
+        cfg.min_wall_ms = cfg.min_wall_ms.max(100);
     }
     let results = experiments::run_kernel_suite(&cfg);
     let speedup = experiments::kernel_speedup(&results, "chain_macro", "chain_reference");
@@ -684,6 +730,9 @@ fn bench(opts: &Options) -> Result<(), String> {
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote {path}");
     }
+    if let Some(path) = &opts.check {
+        bench_check(path, &results)?;
+    }
     Ok(())
 }
 
@@ -704,4 +753,53 @@ fn all(opts: &Options) {
     robustness(opts);
     allocators(opts);
     overhead(opts);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_result(kernel: &str, steps_per_sec: f64) -> abg::experiments::KernelResult {
+        abg::experiments::KernelResult {
+            kernel: kernel.to_string(),
+            iters: 1,
+            ops: 100,
+            steps: 100,
+            wall_ms: 1.0,
+            ops_per_sec: steps_per_sec,
+            steps_per_sec,
+        }
+    }
+
+    #[test]
+    fn baseline_parser_round_trips_bench_json() {
+        let cfg = abg::experiments::KernelBenchConfig::smoke();
+        let results = vec![
+            fake_result("chain_macro", 123456.789),
+            fake_result("chain_reference", 500.0),
+        ];
+        let json = bench_json("smoke", &cfg, &results, Some(2.0));
+        let got = baseline_steps_per_sec(&json, "chain_macro").unwrap();
+        assert!((got - 123456.789).abs() < 1e-2);
+        assert!(baseline_steps_per_sec(&json, "no_such_kernel").is_none());
+    }
+
+    #[test]
+    fn bench_check_trips_only_below_the_floor() {
+        let cfg = abg::experiments::KernelBenchConfig::smoke();
+        let baseline = vec![fake_result("chain_macro", 1000.0)];
+        let dir = std::env::temp_dir().join("abg_bench_check_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        std::fs::write(&path, bench_json("smoke", &cfg, &baseline, None)).unwrap();
+        let path = path.to_str().unwrap();
+
+        // At 71% of baseline: passes. At 69%: trips.
+        assert!(bench_check(path, &[fake_result("chain_macro", 710.0)]).is_ok());
+        let err = bench_check(path, &[fake_result("chain_macro", 690.0)]).unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+        // Missing baseline file or kernel is an error, not a silent pass.
+        assert!(bench_check("/no/such/file.json", &baseline).is_err());
+        assert!(bench_check(path, &[fake_result("other", 1.0)]).is_err());
+    }
 }

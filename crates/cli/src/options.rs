@@ -18,6 +18,9 @@ pub struct Options {
     pub plot: bool,
     /// Write machine-readable JSON output (the `bench` subcommand).
     pub json: bool,
+    /// Compare bench results against a committed baseline JSON and fail
+    /// on regression (the `bench` subcommand).
+    pub check: Option<String>,
 }
 
 impl Options {
@@ -50,6 +53,8 @@ flags:
   --csv                CSV output instead of aligned tables
   --plot               append ASCII charts after the tables
   --json               bench: also write BENCH_kernels.json
+  --check PATH         bench: fail if chain_macro throughput regresses
+                       more than 30% below the baseline JSON at PATH
   --seed N             override the experiment seed
   -h, --help           this text";
 
@@ -63,6 +68,10 @@ flags:
                 "--csv" => opts.csv = true,
                 "--plot" => opts.plot = true,
                 "--json" => opts.json = true,
+                "--check" => {
+                    let v = it.next().ok_or("--check needs a baseline path")?;
+                    opts.check = Some(v.clone());
+                }
                 "--seed" => {
                     let v = it.next().ok_or("--seed needs a value")?;
                     opts.seed = Some(v.parse().map_err(|_| format!("invalid seed '{v}'"))?);
@@ -124,6 +133,13 @@ mod tests {
         assert_eq!(o.command.as_deref(), Some("bench"));
         assert_eq!(o.positional, vec!["smoke"]);
         assert!(o.json);
+    }
+
+    #[test]
+    fn parses_check_flag() {
+        let o = parse(&["bench", "smoke", "--check", "BENCH_kernels.json"]).unwrap();
+        assert_eq!(o.check.as_deref(), Some("BENCH_kernels.json"));
+        assert!(parse(&["bench", "--check"]).is_err());
     }
 
     #[test]

@@ -69,7 +69,7 @@ fn abg_runs(cfg: &AblationConfig, rate: f64, quantum_len: u64) -> Vec<SingleJobR
         .iter()
         .flat_map(|&f| (0..cfg.jobs_per_factor as u64).map(move |j| (f, j)))
         .collect();
-    parallel_map(units, |(factor, index)| {
+    parallel_map(units, |&(factor, index)| {
         let mut rng = StdRng::seed_from_u64(task_seed(cfg.seed, factor, index));
         let job = paper_job(factor, quantum_len, cfg.pairs, &mut rng);
         run_single_job(
@@ -92,7 +92,7 @@ fn agreedy_runs(
         .iter()
         .flat_map(|&f| (0..cfg.jobs_per_factor as u64).map(move |j| (f, j)))
         .collect();
-    parallel_map(units, |(factor, index)| {
+    parallel_map(units, |&(factor, index)| {
         let mut rng = StdRng::seed_from_u64(task_seed(cfg.seed, factor, index));
         let job = paper_job(factor, quantum_len, cfg.pairs, &mut rng);
         run_single_job(
@@ -136,7 +136,7 @@ pub fn governed_rate_quality(cfg: &AblationConfig, target_rate: f64) -> QualityP
         .iter()
         .flat_map(|&f| (0..cfg.jobs_per_factor as u64).map(move |j| (f, j)))
         .collect();
-    let runs = parallel_map(units, |(factor, index)| {
+    let runs = parallel_map(units, |&(factor, index)| {
         let mut rng = StdRng::seed_from_u64(task_seed(cfg.seed, factor, index));
         let job = paper_job(factor, cfg.quantum_len, cfg.pairs, &mut rng);
         run_single_job(
@@ -308,7 +308,7 @@ pub fn semantics_ablation(cfg: &AblationConfig) -> Vec<SemanticsAblationRow> {
             .iter()
             .flat_map(|&f| (0..cfg.jobs_per_factor as u64).map(move |j| (f, j)))
             .collect();
-        let runs = parallel_map(units, |(factor, index)| {
+        let runs = parallel_map(units, |&(factor, index)| {
             let mut rng = StdRng::seed_from_u64(task_seed(cfg.seed, factor, index));
             let spec = ForkJoinSpec::with_transition_factor(factor, cfg.quantum_len, cfg.pairs);
             let mut calc: Box<dyn RequestCalculator + Send> = if sched == "abg" {

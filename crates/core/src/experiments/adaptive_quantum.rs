@@ -78,7 +78,7 @@ pub fn adaptive_quantum_comparison(cfg: &AdaptiveQuantumConfig) -> Vec<AdaptiveQ
             (0..cfg.jobs_per_factor as u64).flat_map(move |j| (0..3u8).map(move |p| (f, j, p)))
         })
         .collect();
-    let results = parallel_map(units, |(factor, index, policy)| {
+    let results = parallel_map(units, |&(factor, index, policy)| {
         let mut rng = StdRng::seed_from_u64(task_seed(cfg.seed, factor, index));
         // Phase geometry follows the *long* quantum so even the longest
         // policy sees phases spanning full quanta.

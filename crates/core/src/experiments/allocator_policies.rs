@@ -13,12 +13,14 @@ use super::{parallel_map, task_seed};
 use crate::bounds::{makespan_lower_bound, response_lower_bound_batched, JobSize};
 use abg_alloc::{Allocator, DynamicEquiPartition, Proportional, RoundRobin};
 use abg_control::{AControl, RequestCalculator};
+use abg_dag::PhasedJob;
 use abg_sched::PipelinedExecutor;
 use abg_sim::MultiJobSim;
-use abg_workload::{JobSet, JobSetSpec, ReleaseSchedule};
+use abg_workload::{JobSetSpec, ReleaseSchedule};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Configuration of the allocator comparison.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -73,29 +75,35 @@ pub struct AllocatorPolicyRow {
 }
 
 fn run_with<A: Allocator>(
-    set: &JobSet,
+    jobs: &[Arc<PhasedJob>],
+    releases: &[u64],
+    processors: u32,
     allocator: A,
     quantum_len: u64,
     rate: f64,
 ) -> (f64, f64, f64) {
     let mut sim = MultiJobSim::new(allocator, quantum_len);
-    for (job, &release) in set.jobs.iter().zip(&set.releases) {
+    for (job, &release) in jobs.iter().zip(releases) {
         let calc: Box<dyn RequestCalculator + Send> = Box::new(AControl::new(rate));
-        sim.add_job(Box::new(PipelinedExecutor::new(job.clone())), calc, release);
+        // All three policies execute the same Arc-shared job structures.
+        sim.add_job(
+            Box::new(PipelinedExecutor::new(Arc::clone(job))),
+            calc,
+            release,
+        );
     }
     let out = sim.run();
-    let sizes: Vec<JobSize> = set
-        .jobs
+    let sizes: Vec<JobSize> = jobs
         .iter()
-        .zip(&set.releases)
+        .zip(releases)
         .map(|(j, &r)| JobSize {
             work: j.work(),
             span: j.span(),
             release: r,
         })
         .collect();
-    let m_star = makespan_lower_bound(&sizes, set.processors);
-    let r_star = response_lower_bound_batched(&sizes, set.processors);
+    let m_star = makespan_lower_bound(&sizes, processors);
+    let r_star = response_lower_bound_batched(&sizes, processors);
     (
         out.makespan as f64 / m_star,
         out.mean_response_time() / r_star,
@@ -111,7 +119,7 @@ pub fn allocator_policy_comparison(cfg: &AllocatorPolicyConfig) -> Vec<Allocator
         .flat_map(|&l| (0..cfg.sets_per_load as u64).map(move |i| (l, i)))
         .collect();
     // (load, [deq, rr, prop] triples)
-    let results = parallel_map(units, |(load, index)| {
+    let results = parallel_map(units, |&(load, index)| {
         let mut rng = StdRng::seed_from_u64(task_seed(cfg.seed, index, load.to_bits()));
         let spec = JobSetSpec {
             processors: cfg.processors,
@@ -123,20 +131,28 @@ pub fn allocator_policy_comparison(cfg: &AllocatorPolicyConfig) -> Vec<Allocator
             release: ReleaseSchedule::Batched,
         };
         let set = spec.generate(&mut rng);
+        let releases = set.releases;
+        let jobs: Vec<Arc<PhasedJob>> = set.jobs.into_iter().map(Arc::new).collect();
         let deq = run_with(
-            &set,
+            &jobs,
+            &releases,
+            cfg.processors,
             DynamicEquiPartition::new(cfg.processors),
             cfg.quantum_len,
             cfg.rate,
         );
         let rr = run_with(
-            &set,
+            &jobs,
+            &releases,
+            cfg.processors,
             RoundRobin::new(cfg.processors),
             cfg.quantum_len,
             cfg.rate,
         );
         let prop = run_with(
-            &set,
+            &jobs,
+            &releases,
+            cfg.processors,
             Proportional::new(cfg.processors),
             cfg.quantum_len,
             cfg.rate,

@@ -1,0 +1,107 @@
+//! Bit-exact fingerprints of sweep outputs.
+//!
+//! The sweeps promise determinism down to the last ulp: same config and
+//! seed, same results, regardless of thread count or internal data
+//! layout. A fingerprint folds every field of every output row into one
+//! FNV-1a hash over the raw bit patterns (`f64::to_bits`, so `-0.0`,
+//! `NaN` payloads and ulp-level drift all show up), which gives the
+//! equivalence tests and the `sweep_fingerprint` example a compact value
+//! to record and compare across refactors of the simulation kernels.
+
+use super::multiprogrammed::LoadPoint;
+use super::single_job::SweepPoint;
+
+/// Incremental FNV-1a over 64-bit words.
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Starts a fresh fingerprint.
+    pub fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    /// Folds one 64-bit word, byte by byte.
+    pub fn word(&mut self, w: u64) -> &mut Self {
+        for b in w.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Folds an `f64` through its exact bit pattern.
+    pub fn f64(&mut self, x: f64) -> &mut Self {
+        self.word(x.to_bits())
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fingerprint of a Figure-5 sweep result (every field of every point).
+pub fn sweep_fingerprint(points: &[SweepPoint]) -> u64 {
+    let mut f = Fingerprint::new();
+    f.word(points.len() as u64);
+    for p in points {
+        f.word(p.factor)
+            .f64(p.measured_factor)
+            .f64(p.abg_time_norm)
+            .f64(p.agreedy_time_norm)
+            .f64(p.abg_waste_norm)
+            .f64(p.agreedy_waste_norm)
+            .f64(p.time_ratio)
+            .f64(p.waste_ratio);
+    }
+    f.finish()
+}
+
+/// Fingerprint of a Figure-6 sweep result (every field of every point).
+pub fn load_fingerprint(points: &[LoadPoint]) -> u64 {
+    let mut f = Fingerprint::new();
+    f.word(points.len() as u64);
+    for p in points {
+        f.f64(p.load)
+            .f64(p.measured_load)
+            .f64(p.mean_jobs)
+            .f64(p.abg_makespan_norm)
+            .f64(p.agreedy_makespan_norm)
+            .f64(p.abg_response_norm)
+            .f64(p.agreedy_response_norm)
+            .f64(p.makespan_ratio)
+            .f64(p.response_ratio);
+    }
+    f.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_order_and_value_sensitive() {
+        let a = Fingerprint::new().word(1).word(2).finish();
+        let b = Fingerprint::new().word(2).word(1).finish();
+        let c = Fingerprint::new().word(1).word(2).finish();
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn f64_fingerprint_distinguishes_signed_zero() {
+        let pos = Fingerprint::new().f64(0.0).finish();
+        let neg = Fingerprint::new().f64(-0.0).finish();
+        assert_ne!(pos, neg);
+    }
+}

@@ -22,6 +22,7 @@ use abg_workload::{JobSetSpec, ReleaseSchedule};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of the kernel suite.
@@ -55,6 +56,15 @@ pub struct KernelBenchConfig {
     pub leveled_width: u64,
     /// Levels of the barrier-leveled kernel.
     pub leveled_levels: u64,
+    /// Layers of the random dag in the `dag_build` kernel.
+    pub dag_levels: u32,
+    /// Maximum layer width of the `dag_build` kernel's dag.
+    pub dag_width: u32,
+    /// Extra cross-layer edge probability in the `dag_build` kernel.
+    pub dag_edge_prob: f64,
+    /// Work units dispatched through the sharded `parallel_map` in the
+    /// `sweep_parallel` kernel.
+    pub parallel_units: u64,
     /// Transition factors of the single-job sweep kernel.
     pub sweep_factors: Vec<u64>,
     /// Jobs per factor in the single-job sweep kernel.
@@ -82,6 +92,10 @@ impl KernelBenchConfig {
             phased_len: 64,
             leveled_width: 16,
             leveled_levels: 50_000,
+            dag_levels: 2_000,
+            dag_width: 32,
+            dag_edge_prob: 0.05,
+            parallel_units: 1_024,
             sweep_factors: vec![2, 10, 40],
             sweep_jobs: 8,
             processors: 128,
@@ -105,6 +119,10 @@ impl KernelBenchConfig {
             phased_len: 16,
             leveled_width: 8,
             leveled_levels: 1_000,
+            dag_levels: 100,
+            dag_width: 8,
+            dag_edge_prob: 0.05,
+            parallel_units: 32,
             sweep_factors: vec![2, 10],
             sweep_jobs: 2,
             processors: 32,
@@ -227,7 +245,7 @@ pub fn run_kernel_suite(cfg: &KernelBenchConfig) -> Vec<KernelResult> {
     );
     let pw = cfg.phased_width as u32;
     results.push(measure("phased_pipelined", ms, || {
-        let mut ex = PipelinedExecutor::new(phased.clone());
+        let mut ex = PipelinedExecutor::new(&phased);
         while !ex.is_complete() {
             ex.run_quantum(pw, 100);
         }
@@ -238,11 +256,45 @@ pub fn run_kernel_suite(cfg: &KernelBenchConfig) -> Vec<KernelResult> {
     let leveled = LeveledJob::constant(cfg.leveled_width, cfg.leveled_levels);
     let lw = cfg.leveled_width as u32;
     results.push(measure("leveled_barrier", ms, || {
-        let mut ex = LeveledExecutor::new(leveled.clone());
+        let mut ex = LeveledExecutor::new(&leveled);
         while !ex.is_complete() {
             ex.run_quantum(lw, 100);
         }
         (ex.completed_work(), ex.elapsed_steps())
+    }));
+
+    // Dag construction: builder ingest + CSR finalization + Kahn
+    // validation of a random layered graph. Ops are tasks built, steps
+    // are edges placed; the same seed every iteration keeps the counters
+    // iter-constant.
+    results.push(measure("dag_build", ms, || {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let dag = generate::random_layered(
+            &mut rng,
+            cfg.dag_levels,
+            1..=cfg.dag_width,
+            cfg.dag_edge_prob,
+        );
+        (dag.work(), dag.num_edges() as u64)
+    }));
+
+    // Harness dispatch: many small independent simulations through the
+    // sharded `parallel_map` — measures the sweep harness's fan-out
+    // throughput (cursor claiming + chunk assembly), not the simulation
+    // kernels themselves.
+    let par_job = PhasedJob::constant(cfg.phased_width, cfg.phased_len);
+    let par_w = cfg.phased_width as u32;
+    results.push(measure("sweep_parallel", ms, || {
+        let units: Vec<u64> = (0..cfg.parallel_units).collect();
+        let runs = super::parallel_map(units, |_unit| {
+            let mut ex = PipelinedExecutor::new(&par_job);
+            while !ex.is_complete() {
+                ex.run_quantum(par_w, 100);
+            }
+            (ex.completed_work(), ex.elapsed_steps())
+        });
+        runs.iter()
+            .fold((0, 0), |(w, s), &(rw, rs)| (w + rw, s + rs))
     }));
 
     // Composite: the Figure-5 single-job sweep at a reduced size. Ops
@@ -271,11 +323,15 @@ pub fn run_kernel_suite(cfg: &KernelBenchConfig) -> Vec<KernelResult> {
         release: ReleaseSchedule::Batched,
     };
     let set = spec.generate(&mut StdRng::seed_from_u64(cfg.seed));
+    let releases = set.releases;
+    // One Arc per job, shared by every repetition — the measurement no
+    // longer pays a phase-list clone per job per iteration.
+    let jobs: Vec<Arc<PhasedJob>> = set.jobs.into_iter().map(Arc::new).collect();
     results.push(measure("multiprogrammed_deq", ms, || {
         let mut sim = MultiJobSim::new(DynamicEquiPartition::new(cfg.processors), 100);
-        for (job, &release) in set.jobs.iter().zip(&set.releases) {
+        for (job, &release) in jobs.iter().zip(&releases) {
             sim.add_job(
-                Box::new(PipelinedExecutor::new(job.clone())),
+                Box::new(PipelinedExecutor::new(Arc::clone(job))),
                 Box::new(AControl::new(0.2)),
                 release,
             );
@@ -317,6 +373,8 @@ mod tests {
                 "forkjoin_tree",
                 "phased_pipelined",
                 "leveled_barrier",
+                "dag_build",
+                "sweep_parallel",
                 "single_job_sweep",
                 "multiprogrammed_deq",
             ]

@@ -9,6 +9,7 @@
 pub mod ablation;
 pub mod adaptive_quantum;
 pub mod allocator_policies;
+pub mod fingerprint;
 pub mod kernels;
 pub mod multiprogrammed;
 pub mod overhead;
@@ -28,6 +29,7 @@ pub use adaptive_quantum::{
 pub use allocator_policies::{
     allocator_policy_comparison, AllocatorPolicyConfig, AllocatorPolicyRow,
 };
+pub use fingerprint::{load_fingerprint, sweep_fingerprint, Fingerprint};
 pub use kernels::{kernel_speedup, run_kernel_suite, KernelBenchConfig, KernelResult};
 pub use multiprogrammed::{multiprogrammed_sweep, LoadPoint, MultiprogrammedConfig};
 pub use overhead::{overhead_sweep, OverheadConfig, OverheadRow};
@@ -39,8 +41,6 @@ pub use theory::{
     Theorem1Row,
 };
 pub use transient::{transient_comparison, TrajectoryPoint, TransientConfig, TransientResult};
-
-use std::sync::Mutex;
 
 /// Derives a per-task RNG seed from an experiment seed and task indices,
 /// so runs are reproducible and independent of the parallel schedule.
@@ -54,53 +54,99 @@ pub(crate) fn task_seed(seed: u64, a: u64, b: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Worker count used by [`parallel_map`]: the `ABG_THREADS` environment
+/// variable when set to a positive integer, the machine's available
+/// parallelism otherwise. Results never depend on this — only wall-clock
+/// does — so pinning it (CI does) is purely about reproducible timing.
+pub(crate) fn configured_threads() -> usize {
+    if let Ok(s) = std::env::var("ABG_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
 /// Order-preserving parallel map over work items using scoped threads.
 ///
 /// Each item is independent; results come back in input order. Used by
 /// the sweep experiments to spread (factor, job) work units across
-/// cores.
+/// cores. Honors the `ABG_THREADS` override (see [`configured_threads`]).
+///
+/// Work distribution is contention-free sharding: workers claim
+/// contiguous index ranges by bumping a single atomic cursor and collect
+/// each range's results into their own pre-sized chunk buffer, which is
+/// handed back through the join handle. No mutex is taken anywhere — the
+/// old design serialized every item on a shared work-queue lock and
+/// every result on a shared output lock, which flattened scaling once
+/// per-item work got small.
 pub(crate) fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
-    T: Send,
+    T: Sync,
     U: Send,
-    F: Fn(T) -> U + Sync,
+    F: Fn(&T) -> U + Sync,
+{
+    parallel_map_with_threads(items, f, configured_threads())
+}
+
+/// [`parallel_map`] with an explicit worker count (tests drive this
+/// directly to check determinism across thread counts without racing on
+/// the process environment).
+pub(crate) fn parallel_map_with_threads<T, U, F>(items: Vec<T>, f: F, threads: usize) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
 {
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-    if threads <= 1 {
-        return items.into_iter().map(f).collect();
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return items.iter().map(&f).collect();
     }
-    let work: Mutex<std::vec::IntoIter<T>> = Mutex::new(items.into_iter());
-    let indexed: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
-    let counter = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let item = {
-                    let mut it = work.lock().expect("worker panicked holding queue");
-                    let idx = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    match it.next() {
-                        Some(x) => (idx, x),
-                        None => return,
+    // A handful of chunks per worker: big enough that cursor bumps are
+    // rare, small enough that a slow chunk cannot strand the tail on one
+    // worker. Any chunking yields identical results — output order is
+    // index order by construction.
+    let chunk = (n / (threads * 8)).max(1);
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let items = &items[..];
+    let f = &f;
+    let mut chunks: Vec<(usize, Vec<U>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine: Vec<(usize, Vec<U>)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                        if start >= n {
+                            return mine;
+                        }
+                        let end = (start + chunk).min(n);
+                        let mut out = Vec::with_capacity(end - start);
+                        out.extend(items[start..end].iter().map(f));
+                        mine.push((start, out));
                     }
-                };
-                let out = f(item.1);
-                indexed
-                    .lock()
-                    .expect("worker panicked holding results")
-                    .push((item.0, out));
-            });
-        }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect()
     });
-    let mut results = indexed.into_inner().expect("scope joined all workers");
-    results.sort_by_key(|(i, _)| *i);
-    results.into_iter().map(|(_, u)| u).collect()
+    chunks.sort_unstable_by_key(|(start, _)| *start);
+    let mut out = Vec::with_capacity(n);
+    for (_, c) in chunks {
+        out.extend(c);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -115,8 +161,38 @@ mod tests {
 
     #[test]
     fn parallel_map_empty() {
-        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |&x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_deterministic_across_thread_counts() {
+        let items: Vec<u64> = (0..317).collect();
+        let expect: Vec<u64> = items.iter().map(|x| task_seed(7, *x, x * 3)).collect();
+        for threads in 1..=8 {
+            let got =
+                parallel_map_with_threads(items.clone(), |&x| task_seed(7, x, x * 3), threads);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_items_fewer_than_threads() {
+        let got = parallel_map_with_threads(vec![1u32, 2, 3], |&x| x + 1, 64);
+        assert_eq!(got, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn abg_threads_env_overrides_worker_count() {
+        // Other tests may run parallel_map concurrently; that is safe
+        // because results are thread-count independent by construction.
+        std::env::set_var("ABG_THREADS", "3");
+        assert_eq!(configured_threads(), 3);
+        let out = parallel_map((0..100).collect::<Vec<i64>>(), |&x| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<i64>>());
+        std::env::set_var("ABG_THREADS", "not-a-number");
+        assert!(configured_threads() >= 1);
+        std::env::remove_var("ABG_THREADS");
     }
 
     #[test]

@@ -10,12 +10,14 @@ use super::{parallel_map, task_seed};
 use crate::bounds::{makespan_lower_bound, response_lower_bound_batched, JobSize};
 use abg_alloc::DynamicEquiPartition;
 use abg_control::{AControl, AGreedy, RequestCalculator};
+use abg_dag::PhasedJob;
 use abg_sched::PipelinedExecutor;
 use abg_sim::{MultiJobOutcome, MultiJobSim};
-use abg_workload::{JobSet, JobSetSpec, ReleaseSchedule};
+use abg_workload::{JobSetSpec, ReleaseSchedule};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which controller drives every job of a set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,15 +113,23 @@ pub struct LoadPoint {
     pub response_ratio: f64,
 }
 
-fn run_set(cfg: &MultiprogrammedConfig, set: &JobSet, which: Scheduler) -> MultiJobOutcome {
+fn run_set(
+    cfg: &MultiprogrammedConfig,
+    jobs: &[Arc<PhasedJob>],
+    releases: &[u64],
+    which: Scheduler,
+) -> MultiJobOutcome {
     let mut sim = MultiJobSim::new(DynamicEquiPartition::new(cfg.processors), cfg.quantum_len);
-    for (job, &release) in set.jobs.iter().zip(&set.releases) {
+    for (job, &release) in jobs.iter().zip(releases) {
         let calculator: Box<dyn RequestCalculator + Send> = match which {
             Scheduler::Abg => Box::new(AControl::new(cfg.rate)),
             Scheduler::AGreedy => Box::new(AGreedy::new(cfg.responsiveness, cfg.utilization)),
         };
+        // The executor needs `'static` ownership (it is boxed into the
+        // sim), but the job structure itself is shared: both schedulers
+        // run against the same `Arc`ed phase lists, no deep clones.
         sim.add_job(
-            Box::new(PipelinedExecutor::new(job.clone())),
+            Box::new(PipelinedExecutor::new(Arc::clone(job))),
             calculator,
             release,
         );
@@ -152,13 +162,19 @@ fn evaluate_set(cfg: &MultiprogrammedConfig, load: f64, index: u64) -> SetResult
         release: cfg.release,
     };
     let set = spec.generate(&mut rng);
-    let abg = run_set(cfg, &set, Scheduler::Abg);
-    let agreedy = run_set(cfg, &set, Scheduler::AGreedy);
+    let set_load = set.load();
+    let set_len = set.len();
+    // Move the generated jobs into shared ownership once; the two
+    // scheduler runs (and the lower-bound computation) all borrow the
+    // same job structures.
+    let releases = set.releases;
+    let jobs: Vec<Arc<PhasedJob>> = set.jobs.into_iter().map(Arc::new).collect();
+    let abg = run_set(cfg, &jobs, &releases, Scheduler::Abg);
+    let agreedy = run_set(cfg, &jobs, &releases, Scheduler::AGreedy);
 
-    let sizes: Vec<JobSize> = set
-        .jobs
+    let sizes: Vec<JobSize> = jobs
         .iter()
-        .zip(&set.releases)
+        .zip(&releases)
         .map(|(j, &r)| JobSize {
             work: j.work(),
             span: j.span(),
@@ -166,12 +182,12 @@ fn evaluate_set(cfg: &MultiprogrammedConfig, load: f64, index: u64) -> SetResult
         })
         .collect();
     let makespan_star = makespan_lower_bound(&sizes, cfg.processors);
-    let batched = set.releases.iter().all(|&r| r == 0);
+    let batched = releases.iter().all(|&r| r == 0);
     let response_star = batched.then(|| response_lower_bound_batched(&sizes, cfg.processors));
 
     SetResult {
-        load: set.load(),
-        jobs: set.len() as f64,
+        load: set_load,
+        jobs: set_len as f64,
         abg_makespan: abg.makespan as f64,
         agreedy_makespan: agreedy.makespan as f64,
         abg_response: abg.mean_response_time(),
@@ -197,7 +213,7 @@ pub fn multiprogrammed_sweep(cfg: &MultiprogrammedConfig) -> Vec<LoadPoint> {
         .iter()
         .flat_map(|&l| (0..cfg.sets_per_load as u64).map(move |i| (l, i)))
         .collect();
-    let results = parallel_map(units, |(load, index)| {
+    let results = parallel_map(units, |&(load, index)| {
         (load, evaluate_set(cfg, load, index))
     });
 

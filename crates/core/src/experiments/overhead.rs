@@ -90,7 +90,7 @@ pub fn overhead_sweep(cfg: &OverheadConfig) -> Vec<OverheadRow> {
             })
         })
         .collect();
-    let results = parallel_map(units, |(oi, factor, index, abg)| {
+    let results = parallel_map(units, |&(oi, factor, index, abg)| {
         let overhead = (cfg.overhead_fractions[oi] * cfg.quantum_len as f64).round() as u64;
         let mut rng = StdRng::seed_from_u64(task_seed(cfg.seed, factor, index));
         let job = paper_job(factor, cfg.quantum_len, cfg.pairs, &mut rng);

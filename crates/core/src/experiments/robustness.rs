@@ -87,13 +87,13 @@ fn make_job(class: &str, cfg: &RobustnessConfig, rng: &mut StdRng) -> PhasedJob 
 fn pair(job: &PhasedJob, cfg: &RobustnessConfig) -> (SingleJobRun, SingleJobRun) {
     let sim = SingleJobConfig::new(cfg.quantum_len);
     let abg = run_single_job(
-        &mut PipelinedExecutor::new(job.clone()),
+        &mut PipelinedExecutor::new(job),
         &mut AControl::new(cfg.rate),
         &mut Scripted::ample(cfg.processors),
         sim,
     );
     let agreedy = run_single_job(
-        &mut PipelinedExecutor::new(job.clone()),
+        &mut PipelinedExecutor::new(job),
         &mut AGreedy::paper_default(),
         &mut Scripted::ample(cfg.processors),
         sim,
@@ -106,7 +106,7 @@ pub fn robustness_comparison(cfg: &RobustnessConfig) -> Vec<RobustnessRow> {
     let units: Vec<(usize, u64)> = (0..CLASSES.len())
         .flat_map(|c| (0..cfg.jobs_per_class as u64).map(move |j| (c, j)))
         .collect();
-    let results = parallel_map(units, |(class_idx, index)| {
+    let results = parallel_map(units, |&(class_idx, index)| {
         let mut rng = StdRng::seed_from_u64(task_seed(cfg.seed, class_idx as u64, index));
         let job = make_job(CLASSES[class_idx], cfg, &mut rng);
         let profile = job.profile();

@@ -123,14 +123,15 @@ fn run_pair(cfg: &SingleJobSweepConfig, factor: u64, index: u64) -> JobPair {
         scaled_job(factor, cfg.quantum_len, cfg.pairs, cfg.scale_down, &mut rng)
     };
     let sim_cfg = SingleJobConfig::new(cfg.quantum_len);
+    // Both runs borrow the same job structure; nothing is cloned per run.
     let abg = run_single_job(
-        &mut PipelinedExecutor::new(job.clone()),
+        &mut PipelinedExecutor::new(&job),
         &mut AControl::new(cfg.rate),
         &mut Scripted::ample(cfg.processors),
         sim_cfg,
     );
     let agreedy = run_single_job(
-        &mut PipelinedExecutor::new(job.clone()),
+        &mut PipelinedExecutor::new(&job),
         &mut AGreedy::new(cfg.responsiveness, cfg.utilization),
         &mut Scripted::ample(cfg.processors),
         sim_cfg,
@@ -157,7 +158,7 @@ pub fn single_job_sweep(cfg: &SingleJobSweepConfig) -> Vec<SweepPoint> {
         .iter()
         .flat_map(|&f| (0..cfg.jobs_per_factor as u64).map(move |j| (f, j)))
         .collect();
-    let pairs = parallel_map(units, |(factor, index)| {
+    let pairs = parallel_map(units, |&(factor, index)| {
         (factor, run_pair(cfg, factor, index))
     });
 

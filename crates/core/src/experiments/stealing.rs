@@ -87,7 +87,7 @@ pub fn stealing_comparison(cfg: &StealingConfig) -> Vec<StealRow> {
             (0..cfg.jobs_per_factor as u64).flat_map(move |j| (0..4u8).map(move |s| (f, j, s)))
         })
         .collect();
-    let runs = parallel_map(units, |(factor, index, scheduler)| {
+    let runs = parallel_map(units, |&(factor, index, scheduler)| {
         let mut rng = StdRng::seed_from_u64(task_seed(cfg.seed, factor, index));
         let job = paper_job(factor, cfg.quantum_len, cfg.pairs, &mut rng);
         let sim_cfg = SingleJobConfig::new(cfg.quantum_len);

@@ -7,13 +7,14 @@ use super::task_seed;
 use crate::bounds::{self, makespan_lower_bound, response_lower_bound_batched, JobSize};
 use abg_alloc::{DynamicEquiPartition, Scripted};
 use abg_control::{analyze_step_response, AControl, AGreedy, ClosedLoop, RequestCalculator};
-use abg_dag::JobStructure;
+use abg_dag::{JobStructure, PhasedJob};
 use abg_sched::PipelinedExecutor;
 use abg_sim::{run_single_job, MultiJobSim, SingleJobConfig, SingleJobRun};
 use abg_workload::{paper_job, JobSetSpec, ReleaseSchedule};
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One cell of the Theorem-1 validation grid.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -253,20 +254,26 @@ pub fn theorem5_check(
         release: ReleaseSchedule::Batched,
     };
     let set = spec.generate(&mut rng);
+    let set_len = set.len();
+    let releases = set.releases;
+    let jobs: Vec<Arc<PhasedJob>> = set.jobs.into_iter().map(Arc::new).collect();
 
     let mut sim = MultiJobSim::new(DynamicEquiPartition::new(processors), quantum_len);
     let mut max_c_l = 1.0f64;
-    for (job, &release) in set.jobs.iter().zip(&set.releases) {
+    for (job, &release) in jobs.iter().zip(&releases) {
         max_c_l = max_c_l.max(job.transition_factor(quantum_len));
         let calc: Box<dyn RequestCalculator + Send> = Box::new(AControl::new(rate));
-        sim.add_job(Box::new(PipelinedExecutor::new(job.clone())), calc, release);
+        sim.add_job(
+            Box::new(PipelinedExecutor::new(Arc::clone(job))),
+            calc,
+            release,
+        );
     }
     let out = sim.run();
 
-    let sizes: Vec<JobSize> = set
-        .jobs
+    let sizes: Vec<JobSize> = jobs
         .iter()
-        .zip(&set.releases)
+        .zip(&releases)
         .map(|(j, &r)| JobSize {
             work: j.work(),
             span: j.span(),
@@ -276,8 +283,8 @@ pub fn theorem5_check(
     let m_star = makespan_lower_bound(&sizes, processors);
     let r_star = response_lower_bound_batched(&sizes, processors);
 
-    let m_bound = bounds::theorem5_makespan_bound(m_star, max_c_l, rate, quantum_len, set.len())?;
-    let r_bound = bounds::theorem5_response_bound(r_star, max_c_l, rate, quantum_len, set.len())?;
+    let m_bound = bounds::theorem5_makespan_bound(m_star, max_c_l, rate, quantum_len, set_len)?;
+    let r_bound = bounds::theorem5_response_bound(r_star, max_c_l, rate, quantum_len, set_len)?;
     Some(vec![
         BoundCheck::le("theorem5-makespan", out.makespan as f64, m_bound),
         BoundCheck::le("theorem5-response", out.mean_response_time(), r_bound),

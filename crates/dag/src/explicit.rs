@@ -1,12 +1,29 @@
 //! Arbitrary precedence graphs over unit tasks.
 //!
-//! An [`ExplicitDag`] stores the successor lists and in-degrees of every
-//! task plus the level assignment (longest distance from a source). It is
-//! constructed through [`DagBuilder`], which validates that the graph is
-//! acyclic and well-formed before any scheduler touches it.
+//! An [`ExplicitDag`] stores the successor adjacency in CSR (compressed
+//! sparse row) form — one flat successor array plus an offset table —
+//! together with the in-degrees of every task and the level assignment
+//! (longest distance from a source). It is constructed through
+//! [`DagBuilder`], which validates that the graph is acyclic and
+//! well-formed before any scheduler touches it.
+//!
+//! # Memory layout
+//!
+//! The builder records edges as a flat `(from, to)` list (with an O(1)
+//! hash-based duplicate check) and finalizes into CSR with one stable
+//! counting sort, so building a dag is O(V + E) regardless of density.
+//! The finished dag packs all successors into a single contiguous
+//! allocation: executors iterating `successors(t)` on the hot path read
+//! one offset pair and then walk a dense slice, instead of chasing a
+//! per-task heap pointer as the previous `Vec<Vec<TaskId>>` layout did.
+//!
+//! The wire format is unchanged: serde (de)serialization goes through
+//! [`DagWire`], which carries the original nested adjacency-list layout.
 
 use crate::{Level, TaskId};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Errors detected while building or validating a dag.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,6 +42,9 @@ pub enum DagError {
         /// Number of tasks that are part of (or downstream of) a cycle.
         remaining: usize,
     },
+    /// Deserialized wire data is internally inconsistent (derived fields
+    /// do not match the adjacency it carries).
+    CorruptWire,
 }
 
 impl std::fmt::Display for DagError {
@@ -40,13 +60,53 @@ impl std::fmt::Display for DagError {
                     "precedence relation is cyclic ({remaining} tasks unordered)"
                 )
             }
+            DagError::CorruptWire => write!(f, "wire data has inconsistent derived fields"),
         }
     }
 }
 
 impl std::error::Error for DagError {}
 
+/// Hasher for packed `(from, to)` edge keys: one SplitMix64 finalizer
+/// round. Edge keys are already well-distributed dense indices, so the
+/// default SipHash would spend most of the duplicate check hashing; this
+/// keeps [`DagBuilder::add_edge`] O(1) with a small constant.
+#[derive(Debug, Default, Clone)]
+pub struct EdgeKeyHasher(u64);
+
+impl Hasher for EdgeKeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 edge keys are ever hashed; fold arbitrary bytes anyway
+        // so the impl is total.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, key: u64) {
+        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type EdgeSet = HashSet<u64, BuildHasherDefault<EdgeKeyHasher>>;
+
+#[inline]
+fn edge_key(from: TaskId, to: TaskId) -> u64 {
+    (from.0 as u64) << 32 | to.0 as u64
+}
+
 /// Incremental builder for an [`ExplicitDag`].
+///
+/// Edges are kept as a flat insertion-ordered list plus a hash set of
+/// packed `(from, to)` keys, so `add_edge` is O(1) — including the
+/// duplicate check — and `build` finalizes into CSR in O(V + E).
 ///
 /// ```
 /// use abg_dag::DagBuilder;
@@ -62,8 +122,12 @@ impl std::error::Error for DagError {}
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct DagBuilder {
-    succs: Vec<Vec<TaskId>>,
+    /// Edges in insertion order; `build` counting-sorts them into CSR.
+    edges: Vec<(TaskId, TaskId)>,
+    /// Packed `(from, to)` keys of `edges`, for O(1) duplicate checks.
+    seen: EdgeSet,
     in_degree: Vec<u32>,
+    out_degree: Vec<u32>,
 }
 
 impl DagBuilder {
@@ -75,23 +139,25 @@ impl DagBuilder {
     /// Creates a builder with capacity for `n` tasks.
     pub fn with_capacity(n: usize) -> Self {
         Self {
-            succs: Vec::with_capacity(n),
+            edges: Vec::with_capacity(n),
+            seen: EdgeSet::with_capacity_and_hasher(n, BuildHasherDefault::default()),
             in_degree: Vec::with_capacity(n),
+            out_degree: Vec::with_capacity(n),
         }
     }
 
     /// Adds a new unit task and returns its id.
     pub fn add_task(&mut self) -> TaskId {
-        let id = TaskId(u32::try_from(self.succs.len()).expect("more than u32::MAX tasks"));
-        self.succs.push(Vec::new());
+        let id = TaskId(u32::try_from(self.in_degree.len()).expect("more than u32::MAX tasks"));
         self.in_degree.push(0);
+        self.out_degree.push(0);
         id
     }
 
     /// Adds `n` tasks, returning the id of the first; the block is
     /// contiguous, so the ids are `first..first + n`.
     pub fn add_tasks(&mut self, n: usize) -> TaskId {
-        let first = TaskId(self.succs.len() as u32);
+        let first = TaskId(self.in_degree.len() as u32);
         for _ in 0..n {
             self.add_task();
         }
@@ -100,12 +166,17 @@ impl DagBuilder {
 
     /// Number of tasks added so far.
     pub fn len(&self) -> usize {
-        self.succs.len()
+        self.in_degree.len()
     }
 
     /// Whether no tasks were added yet.
     pub fn is_empty(&self) -> bool {
-        self.succs.is_empty()
+        self.in_degree.is_empty()
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
     }
 
     /// Adds a precedence edge `from -> to` (i.e. `to` becomes ready only
@@ -114,7 +185,7 @@ impl DagBuilder {
     /// Rejects self-loops, unknown ids and duplicate edges immediately;
     /// cycles are detected at [`DagBuilder::build`] time.
     pub fn add_edge(&mut self, from: TaskId, to: TaskId) -> Result<(), DagError> {
-        let n = self.succs.len() as u32;
+        let n = self.in_degree.len() as u32;
         if from.0 >= n {
             return Err(DagError::UnknownTask(from));
         }
@@ -124,21 +195,45 @@ impl DagBuilder {
         if from == to {
             return Err(DagError::SelfLoop(from));
         }
-        if self.succs[from.index()].contains(&to) {
+        if !self.seen.insert(edge_key(from, to)) {
             return Err(DagError::DuplicateEdge(from, to));
         }
-        self.succs[from.index()].push(to);
+        self.edges.push((from, to));
+        self.out_degree[from.index()] += 1;
         self.in_degree[to.index()] += 1;
         Ok(())
     }
 
     /// Validates the graph (non-empty, acyclic), computes levels, and
-    /// returns the finished dag.
+    /// returns the finished dag in CSR form.
     pub fn build(self) -> Result<ExplicitDag, DagError> {
-        if self.succs.is_empty() {
+        if self.in_degree.is_empty() {
             return Err(DagError::Empty);
         }
-        let n = self.succs.len();
+        let n = self.in_degree.len();
+        let m = self.edges.len();
+        assert!(
+            u32::try_from(m).is_ok(),
+            "more than u32::MAX edges (CSR offsets are 32-bit)"
+        );
+        // CSR finalization: prefix-sum the out-degrees into the offset
+        // table, then place each edge at its row cursor. The scan runs in
+        // insertion order and each row's cursor only moves forward, so
+        // `successors(t)` preserves the per-task edge insertion order.
+        let mut succ_off = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        succ_off.push(0);
+        for &d in &self.out_degree {
+            acc += d;
+            succ_off.push(acc);
+        }
+        let mut cursor: Vec<u32> = succ_off[..n].to_vec();
+        let mut succ_flat = vec![TaskId(0); m];
+        for &(from, to) in &self.edges {
+            let c = &mut cursor[from.index()];
+            succ_flat[*c as usize] = to;
+            *c += 1;
+        }
         // Kahn's algorithm doubling as cycle detection and (longest-path)
         // level assignment.
         let mut indeg = self.in_degree.clone();
@@ -154,7 +249,8 @@ impl DagBuilder {
             head += 1;
             ordered += 1;
             let lu = level[u.index()];
-            for &v in &self.succs[u.index()] {
+            let row = succ_off[u.index()] as usize..succ_off[u.index() + 1] as usize;
+            for &v in &succ_flat[row] {
                 let lv = &mut level[v.index()];
                 *lv = (*lv).max(lu + 1);
                 indeg[v.index()] -= 1;
@@ -175,7 +271,8 @@ impl DagBuilder {
         }
         let level_recip = level_sizes.iter().map(|&s| 1.0 / s as f64).collect();
         Ok(ExplicitDag {
-            succs: self.succs,
+            succ_off,
+            succ_flat,
             in_degree: self.in_degree,
             level,
             level_sizes,
@@ -186,12 +283,22 @@ impl DagBuilder {
 
 /// A validated, immutable precedence graph over unit tasks.
 ///
-/// Tasks are identified by dense [`TaskId`]s; the structure stores the
-/// successor adjacency, the in-degree of each task (used by executors to
-/// track readiness) and each task's level.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Tasks are identified by dense [`TaskId`]s. The successor adjacency is
+/// stored in CSR form — [`ExplicitDag::successors`] is a slice of one
+/// shared flat array — alongside the in-degree of each task (used by
+/// executors to track readiness) and each task's level.
+///
+/// Serde goes through [`DagWire`] (the nested adjacency-list layout of
+/// the pre-CSR implementation), so the on-wire format is independent of
+/// this in-memory representation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(into = "DagWire", try_from = "DagWire")]
 pub struct ExplicitDag {
-    succs: Vec<Vec<TaskId>>,
+    /// CSR offsets: successors of task `t` occupy
+    /// `succ_flat[succ_off[t] .. succ_off[t + 1]]`; length `n + 1`.
+    succ_off: Vec<u32>,
+    /// All successor ids, row-major in task order.
+    succ_flat: Vec<TaskId>,
     in_degree: Vec<u32>,
     level: Vec<Level>,
     level_sizes: Vec<u64>,
@@ -205,7 +312,7 @@ impl ExplicitDag {
     /// Total number of tasks, i.e. the work `T1` of the job.
     #[inline]
     pub fn work(&self) -> u64 {
-        self.succs.len() as u64
+        self.in_degree.len() as u64
     }
 
     /// Critical-path length `T∞`: number of tasks on the longest chain.
@@ -217,19 +324,25 @@ impl ExplicitDag {
     /// Number of tasks (as a `usize`, for indexing).
     #[inline]
     pub fn num_tasks(&self) -> usize {
-        self.succs.len()
+        self.in_degree.len()
     }
 
-    /// Successors of `t`.
+    /// Successors of `t`, in edge insertion order.
     #[inline]
     pub fn successors(&self, t: TaskId) -> &[TaskId] {
-        &self.succs[t.index()]
+        &self.succ_flat[self.succ_off[t.index()] as usize..self.succ_off[t.index() + 1] as usize]
     }
 
     /// In-degree (number of direct predecessors) of `t`.
     #[inline]
     pub fn in_degree(&self, t: TaskId) -> u32 {
         self.in_degree[t.index()]
+    }
+
+    /// Out-degree (number of direct successors) of `t`.
+    #[inline]
+    pub fn out_degree(&self, t: TaskId) -> u32 {
+        self.succ_off[t.index() + 1] - self.succ_off[t.index()]
     }
 
     /// Level of `t` (longest distance from a source; sources are level 0).
@@ -263,7 +376,7 @@ impl ExplicitDag {
 
     /// Iterator over all task ids in id order.
     pub fn tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
-        (0..self.succs.len() as u32).map(TaskId)
+        (0..self.in_degree.len() as u32).map(TaskId)
     }
 
     /// Tasks with no predecessors (ready at job start).
@@ -273,17 +386,37 @@ impl ExplicitDag {
 
     /// Tasks with no successors.
     pub fn sinks(&self) -> impl Iterator<Item = TaskId> + '_ {
-        self.tasks().filter(|t| self.succs[t.index()].is_empty())
+        self.tasks().filter(|&t| self.out_degree(t) == 0)
     }
 
     /// Total number of edges.
     pub fn num_edges(&self) -> usize {
-        self.succs.iter().map(Vec::len).sum()
+        self.succ_flat.len()
     }
 
     /// Average parallelism `T1 / T∞`.
     pub fn average_parallelism(&self) -> f64 {
         self.work() as f64 / self.span() as f64
+    }
+
+    /// The successor adjacency as nested lists (the pre-CSR layout);
+    /// allocates one `Vec` per task. Useful for interchange and tests —
+    /// the hot paths should iterate [`ExplicitDag::successors`] instead.
+    pub fn to_adjacency(&self) -> Vec<Vec<TaskId>> {
+        self.tasks().map(|t| self.successors(t).to_vec()).collect()
+    }
+
+    /// Rebuilds a dag from nested successor lists (the inverse of
+    /// [`ExplicitDag::to_adjacency`]), re-validating everything.
+    pub fn from_adjacency(succs: Vec<Vec<TaskId>>) -> Result<Self, DagError> {
+        let mut b = DagBuilder::with_capacity(succs.len());
+        b.add_tasks(succs.len());
+        for (i, row) in succs.iter().enumerate() {
+            for &to in row {
+                b.add_edge(TaskId(i as u32), to)?;
+            }
+        }
+        b.build()
     }
 
     /// Renders the dag in Graphviz `dot` syntax, ranking tasks by level.
@@ -310,6 +443,58 @@ impl ExplicitDag {
         }
         out.push_str("}\n");
         out
+    }
+}
+
+/// The serde wire form of [`ExplicitDag`]: the nested adjacency-list
+/// field layout of the pre-CSR implementation, kept so serialized dags
+/// are stable across in-memory representation changes.
+///
+/// Conversion back into [`ExplicitDag`] re-validates the adjacency and
+/// recomputes the derived fields, rejecting wire data whose recorded
+/// derived fields disagree ([`DagError::CorruptWire`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagWire {
+    /// Successor lists per task, in task-id order.
+    pub succs: Vec<Vec<TaskId>>,
+    /// In-degree per task.
+    pub in_degree: Vec<u32>,
+    /// Level per task.
+    pub level: Vec<Level>,
+    /// Number of tasks at each level.
+    pub level_sizes: Vec<u64>,
+    /// Reciprocal level sizes.
+    pub level_recip: Vec<f64>,
+}
+
+impl From<ExplicitDag> for DagWire {
+    fn from(dag: ExplicitDag) -> Self {
+        DagWire {
+            succs: dag.to_adjacency(),
+            in_degree: dag.in_degree,
+            level: dag.level,
+            level_sizes: dag.level_sizes,
+            level_recip: dag.level_recip,
+        }
+    }
+}
+
+impl TryFrom<DagWire> for ExplicitDag {
+    type Error = DagError;
+
+    fn try_from(wire: DagWire) -> Result<Self, DagError> {
+        let dag = ExplicitDag::from_adjacency(wire.succs)?;
+        // The derived fields travel on the wire for the benefit of
+        // non-Rust consumers; on the way back in they must agree with
+        // what the adjacency implies.
+        if dag.in_degree != wire.in_degree
+            || dag.level != wire.level
+            || dag.level_sizes != wire.level_sizes
+            || dag.level_recip.len() != wire.level_recip.len()
+        {
+            return Err(DagError::CorruptWire);
+        }
+        Ok(dag)
     }
 }
 
@@ -384,6 +569,9 @@ mod tests {
         let c = b.add_task();
         b.add_edge(a, c).unwrap();
         assert_eq!(b.add_edge(a, c).unwrap_err(), DagError::DuplicateEdge(a, c));
+        // The reverse edge is not a duplicate (it is a cycle, caught at
+        // build time) — the packed key must distinguish direction.
+        assert_eq!(b.add_edge(c, a), Ok(()));
     }
 
     #[test]
@@ -419,6 +607,22 @@ mod tests {
         assert_eq!(d.level(z), 2);
         assert_eq!(d.in_degree(z), 2);
         assert_eq!(d.num_edges(), 4);
+        assert_eq!(d.out_degree(a), 2);
+        assert_eq!(d.out_degree(z), 0);
+    }
+
+    #[test]
+    fn successors_preserve_insertion_order() {
+        let mut b = DagBuilder::new();
+        let a = b.add_task();
+        let succs: Vec<TaskId> = (0..5).map(|_| b.add_task()).collect();
+        // Insert out of id order; iteration must follow insertion order.
+        for &i in &[3usize, 0, 4, 1, 2] {
+            b.add_edge(a, succs[i]).unwrap();
+        }
+        let d = b.build().unwrap();
+        let got: Vec<u32> = d.successors(a).iter().map(|t| t.0).collect();
+        assert_eq!(got, vec![4, 1, 5, 2, 3]);
     }
 
     #[test]
@@ -449,5 +653,47 @@ mod tests {
     fn level_sizes_sum_to_work() {
         let d = chain(9);
         assert_eq!(d.level_sizes().iter().sum::<u64>(), d.work());
+    }
+
+    #[test]
+    fn adjacency_round_trip_is_identity() {
+        let d = chain(7);
+        let back = ExplicitDag::from_adjacency(d.to_adjacency()).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn wire_round_trip_is_identity() {
+        let mut b = DagBuilder::new();
+        let a = b.add_task();
+        let x = b.add_task();
+        let y = b.add_task();
+        b.add_edge(a, y).unwrap();
+        b.add_edge(a, x).unwrap();
+        b.add_edge(x, y).unwrap();
+        let d = b.build().unwrap();
+        let wire: DagWire = d.clone().into();
+        assert_eq!(wire.succs[a.index()], vec![y, x], "insertion order kept");
+        let back = ExplicitDag::try_from(wire).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn corrupt_wire_rejected() {
+        let d = chain(4);
+        let mut wire: DagWire = d.into();
+        wire.level[2] = 7;
+        assert_eq!(ExplicitDag::try_from(wire), Err(DagError::CorruptWire));
+    }
+
+    #[test]
+    fn builder_counts_tasks_and_edges() {
+        let mut b = DagBuilder::with_capacity(3);
+        assert!(b.is_empty());
+        b.add_tasks(3);
+        assert_eq!(b.len(), 3);
+        b.add_edge(TaskId(0), TaskId(1)).unwrap();
+        b.add_edge(TaskId(0), TaskId(2)).unwrap();
+        assert_eq!(b.num_edges(), 2);
     }
 }

@@ -11,21 +11,27 @@
 use crate::quantum::QuantumStats;
 use crate::JobExecutor;
 use abg_dag::LeveledJob;
+use std::borrow::Borrow;
 
 /// Executor state over a [`LeveledJob`]: the current level and how many
 /// of its tasks have completed.
+///
+/// Like [`PipelinedExecutor`](crate::PipelinedExecutor), the executor is
+/// generic over how it holds the (immutable) job — owned by default,
+/// `&LeveledJob` or `Arc<LeveledJob>` when several runs share one job
+/// structure without cloning the width profile.
 #[derive(Debug, Clone)]
-pub struct LeveledExecutor {
-    job: LeveledJob,
+pub struct LeveledExecutor<J: Borrow<LeveledJob> = LeveledJob> {
+    job: J,
     level: usize,
     done_in_level: u64,
     completed: u64,
     elapsed: u64,
 }
 
-impl LeveledExecutor {
+impl<J: Borrow<LeveledJob>> LeveledExecutor<J> {
     /// Creates an executor at the start of the job.
-    pub fn new(job: LeveledJob) -> Self {
+    pub fn new(job: J) -> Self {
         Self {
             job,
             level: 0,
@@ -37,7 +43,7 @@ impl LeveledExecutor {
 
     /// The job being executed.
     pub fn job(&self) -> &LeveledJob {
-        &self.job
+        self.job.borrow()
     }
 
     /// Index of the level currently in progress (== `span` once done).
@@ -51,14 +57,14 @@ impl LeveledExecutor {
     }
 }
 
-impl JobExecutor for LeveledExecutor {
+impl<J: Borrow<LeveledJob>> JobExecutor for LeveledExecutor<J> {
     fn run_quantum(&mut self, allotment: u32, steps: u64) -> QuantumStats {
         let mut work = 0u64;
         let mut span = 0.0f64;
         let mut steps_left = if allotment == 0 { 0 } else { steps };
         let mut steps_worked = 0u64;
         let a = allotment as u64;
-        let widths = self.job.widths();
+        let widths = self.job.borrow().widths();
         while steps_left > 0 && self.level < widths.len() {
             let width = widths[self.level];
             let remaining = width - self.done_in_level;
@@ -93,15 +99,15 @@ impl JobExecutor for LeveledExecutor {
     }
 
     fn is_complete(&self) -> bool {
-        self.level >= self.job.widths().len()
+        self.level >= self.job.borrow().widths().len()
     }
 
     fn total_work(&self) -> u64 {
-        self.job.work()
+        self.job.borrow().work()
     }
 
     fn total_span(&self) -> u64 {
-        self.job.span()
+        self.job.borrow().span()
     }
 
     fn completed_work(&self) -> u64 {

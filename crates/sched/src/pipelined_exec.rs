@@ -15,25 +15,37 @@
 use crate::quantum::QuantumStats;
 use crate::JobExecutor;
 use abg_dag::PhasedJob;
+use std::borrow::Borrow;
 
 /// Executor state over a [`PhasedJob`]: the current phase and the
 /// level-major position within it.
+///
+/// The job structure is immutable during execution, so the executor is
+/// generic over *how* it holds the job: owned (`PhasedJob`, the
+/// default), borrowed (`&PhasedJob`), or shared (`Arc<PhasedJob>`). The
+/// harness exploits this to run the ABG/A-Greedy pair — and every
+/// repetition of a bench kernel — against one job allocation instead of
+/// cloning the phase list per run.
 ///
 /// ```
 /// use abg_dag::PhasedJob;
 /// use abg_sched::{JobExecutor, PipelinedExecutor};
 ///
 /// // A constant-parallelism job: 10 chains, 100 levels.
-/// let mut ex = PipelinedExecutor::new(PhasedJob::constant(10, 100));
+/// let job = PhasedJob::constant(10, 100);
+/// // Two executors over the same job, no clone.
+/// let mut ex = PipelinedExecutor::new(&job);
+/// let mut other = PipelinedExecutor::new(&job);
 /// // 20 steps at 7 processors: pipelining keeps all 7 busy, and the
 /// // fractional span measurement still reads the job's parallelism.
 /// let q = ex.run_quantum(7, 20);
 /// assert_eq!(q.work, 140);
 /// assert_eq!(q.average_parallelism(), Some(10.0));
+/// assert_eq!(other.run_quantum(7, 20).work, q.work);
 /// ```
 #[derive(Debug, Clone)]
-pub struct PipelinedExecutor {
-    job: PhasedJob,
+pub struct PipelinedExecutor<J: Borrow<PhasedJob> = PhasedJob> {
+    job: J,
     phase: usize,
     /// Tasks of the current phase already completed (level-major count).
     pos: u64,
@@ -41,9 +53,9 @@ pub struct PipelinedExecutor {
     elapsed: u64,
 }
 
-impl PipelinedExecutor {
+impl<J: Borrow<PhasedJob>> PipelinedExecutor<J> {
     /// Creates an executor at the start of the job.
-    pub fn new(job: PhasedJob) -> Self {
+    pub fn new(job: J) -> Self {
         Self {
             job,
             phase: 0,
@@ -55,7 +67,7 @@ impl PipelinedExecutor {
 
     /// The job being executed.
     pub fn job(&self) -> &PhasedJob {
-        &self.job
+        self.job.borrow()
     }
 
     /// Index of the phase currently in progress (== number of phases
@@ -65,14 +77,14 @@ impl PipelinedExecutor {
     }
 }
 
-impl JobExecutor for PipelinedExecutor {
+impl<J: Borrow<PhasedJob>> JobExecutor for PipelinedExecutor<J> {
     fn run_quantum(&mut self, allotment: u32, steps: u64) -> QuantumStats {
         let mut work = 0u64;
         let mut span = 0.0f64;
         let mut steps_left = if allotment == 0 { 0 } else { steps };
         let mut steps_worked = 0u64;
         let a = allotment as u64;
-        let phases = self.job.phases();
+        let phases = self.job.borrow().phases();
         while steps_left > 0 && self.phase < phases.len() {
             let p = phases[self.phase];
             let total = p.work();
@@ -108,15 +120,15 @@ impl JobExecutor for PipelinedExecutor {
     }
 
     fn is_complete(&self) -> bool {
-        self.phase >= self.job.phases().len()
+        self.phase >= self.job.borrow().phases().len()
     }
 
     fn total_work(&self) -> u64 {
-        self.job.work()
+        self.job.borrow().work()
     }
 
     fn total_span(&self) -> u64 {
-        self.job.span()
+        self.job.borrow().span()
     }
 
     fn completed_work(&self) -> u64 {

@@ -204,12 +204,12 @@ mod tests {
     #[test]
     fn fixed_policy_reproduces_fixed_engine() {
         let job = forkjoin();
-        let mut a = PipelinedExecutor::new(job.clone());
+        let mut a = PipelinedExecutor::new(&job);
         let mut c = AControl::new(0.2);
         let mut al = Scripted::ample(64);
         let fixed = crate::run_single_job(&mut a, &mut c, &mut al, SingleJobConfig::new(50));
 
-        let mut b = PipelinedExecutor::new(job);
+        let mut b = PipelinedExecutor::new(&job);
         let mut c2 = AControl::new(0.2);
         let mut al2 = Scripted::ample(64);
         let (adaptive, _) = run_single_job_adaptive(
@@ -228,7 +228,7 @@ mod tests {
     fn adaptive_policy_uses_fewer_quanta_on_stable_jobs() {
         let job = PhasedJob::constant(8, 4000);
         let run_with = |adaptive: bool| {
-            let mut ex = PipelinedExecutor::new(job.clone());
+            let mut ex = PipelinedExecutor::new(&job);
             let mut c = AControl::new(0.2);
             let mut al = Scripted::ample(64);
             if adaptive {

@@ -1,0 +1,63 @@
+//! Prints bit-exact fingerprints of the paper-scale sweeps.
+//!
+//! ```text
+//! cargo run --release --example sweep_fingerprint [--paper]
+//! ```
+//!
+//! The values only depend on the config (including the seed), never on
+//! the machine or thread count. Record them before a kernel or layout
+//! refactor and compare after: equal fingerprints mean the refactor is
+//! behavior-identical down to the last ulp on every sweep output field.
+//! `tests/sweep_equivalence.rs` pins the scaled-config values; the
+//! `--paper` run covers the full Figure-5/Figure-6 scale (slower).
+
+use abg::experiments::{
+    load_fingerprint, multiprogrammed_sweep, single_job_sweep, sweep_fingerprint,
+    MultiprogrammedConfig, SingleJobSweepConfig,
+};
+use std::time::Instant;
+
+fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    eprintln!("  [{label}: {:.2}s]", start.elapsed().as_secs_f64());
+    out
+}
+
+fn main() {
+    let paper = std::env::args().any(|a| a == "--paper");
+
+    let scaled = timed("fig5 scaled", || {
+        single_job_sweep(&SingleJobSweepConfig::scaled())
+    });
+    println!(
+        "single_job_sweep(scaled)        = {:#018x}",
+        sweep_fingerprint(&scaled)
+    );
+
+    let multi_scaled = timed("fig6 scaled", || {
+        multiprogrammed_sweep(&MultiprogrammedConfig::scaled())
+    });
+    println!(
+        "multiprogrammed_sweep(scaled)   = {:#018x}",
+        load_fingerprint(&multi_scaled)
+    );
+
+    if paper {
+        let fig5 = timed("fig5 paper", || {
+            single_job_sweep(&SingleJobSweepConfig::paper())
+        });
+        println!(
+            "single_job_sweep(paper)         = {:#018x}",
+            sweep_fingerprint(&fig5)
+        );
+
+        let fig6 = timed("fig6 paper", || {
+            multiprogrammed_sweep(&MultiprogrammedConfig::paper())
+        });
+        println!(
+            "multiprogrammed_sweep(paper)    = {:#018x}",
+            load_fingerprint(&fig6)
+        );
+    }
+}

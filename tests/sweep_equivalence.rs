@@ -1,0 +1,71 @@
+//! Golden bit-exactness of the sweep outputs across refactors.
+//!
+//! The fingerprints pinned here were recorded from the pre-CSR,
+//! pre-sharding harness (`cargo run --release --example
+//! sweep_fingerprint -- --paper`); every field of every output row is
+//! folded through `f64::to_bits`, so a match means the memory-layout and
+//! parallelism overhaul left the simulation behavior identical down to
+//! the last ulp. If an *intentional* behavior change moves these values,
+//! re-record them with the example and say so in the commit message.
+
+use abg::experiments::{
+    load_fingerprint, multiprogrammed_sweep, single_job_sweep, sweep_fingerprint,
+    MultiprogrammedConfig, SingleJobSweepConfig,
+};
+
+/// `single_job_sweep(SingleJobSweepConfig::scaled())`.
+const FIG5_SCALED: u64 = 0xaa0db22451a30c4f;
+/// `multiprogrammed_sweep(MultiprogrammedConfig::scaled())`.
+const FIG6_SCALED: u64 = 0x7a637df27bf7c5ab;
+/// `single_job_sweep(SingleJobSweepConfig::paper())`.
+const FIG5_PAPER: u64 = 0xbd4b009a3e6290c5;
+/// `multiprogrammed_sweep(MultiprogrammedConfig::paper())`.
+const FIG6_PAPER: u64 = 0xa904d28e2f0eaa19;
+
+#[test]
+fn scaled_single_job_sweep_matches_golden() {
+    let points = single_job_sweep(&SingleJobSweepConfig::scaled());
+    assert_eq!(sweep_fingerprint(&points), FIG5_SCALED);
+}
+
+#[test]
+fn scaled_multiprogrammed_sweep_matches_golden() {
+    let points = multiprogrammed_sweep(&MultiprogrammedConfig::scaled());
+    assert_eq!(load_fingerprint(&points), FIG6_SCALED);
+}
+
+#[test]
+fn paper_single_job_sweep_matches_golden() {
+    let points = single_job_sweep(&SingleJobSweepConfig::paper());
+    assert_eq!(sweep_fingerprint(&points), FIG5_PAPER);
+}
+
+#[test]
+fn paper_multiprogrammed_sweep_matches_golden() {
+    let points = multiprogrammed_sweep(&MultiprogrammedConfig::paper());
+    assert_eq!(load_fingerprint(&points), FIG6_PAPER);
+}
+
+#[test]
+fn sweeps_are_thread_count_invariant() {
+    // The goldens above run under whatever ABG_THREADS the environment
+    // sets; this test walks the worker count explicitly. Mutating the
+    // variable while sibling tests run concurrently is safe precisely
+    // because of the property under test: results never depend on it.
+    for threads in ["1", "2", "3", "8"] {
+        std::env::set_var("ABG_THREADS", threads);
+        let fig5 = single_job_sweep(&SingleJobSweepConfig::scaled());
+        assert_eq!(
+            sweep_fingerprint(&fig5),
+            FIG5_SCALED,
+            "fig5 drifted at ABG_THREADS={threads}"
+        );
+        let fig6 = multiprogrammed_sweep(&MultiprogrammedConfig::scaled());
+        assert_eq!(
+            load_fingerprint(&fig6),
+            FIG6_SCALED,
+            "fig6 drifted at ABG_THREADS={threads}"
+        );
+    }
+    std::env::remove_var("ABG_THREADS");
+}
