@@ -1,0 +1,62 @@
+//! Open-system driver benchmarks: the sustained-arrival stepping loop
+//! (admission, quantum stepping, completion drain, statistics
+//! collection) and the full ρ sweep at smoke scale.
+
+use abg::experiments::{open_system_sweep, OpenSystemConfig};
+use abg::queue::{run_open_system, OpenConfig, SaturationConfig};
+use abg_alloc::DynamicEquiPartition;
+use abg_control::AControl;
+use abg_dag::PhasedJob;
+use abg_sched::PipelinedExecutor;
+use abg_workload::{mean_gap_for_utilization, ArrivalProcess};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn driver_config(rho: f64, measured_jobs: u64) -> OpenConfig {
+    OpenConfig {
+        processors: 32,
+        quantum_len: 100,
+        arrivals: ArrivalProcess::Poisson {
+            // Constant-structure jobs below: T1 = 8 × 200 = 1600 steps.
+            mean_gap: mean_gap_for_utilization(rho, 32, 1600.0),
+        },
+        warmup_jobs: measured_jobs / 4,
+        measured_jobs,
+        batches: 8,
+        max_quanta: u64::MAX,
+        saturation: SaturationConfig::default(),
+        seed: 0xB16C_2008,
+    }
+}
+
+fn bench_open_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("open_system");
+    g.sample_size(20);
+
+    let job = Arc::new(PhasedJob::constant(8, 200));
+    for rho in [0.3, 0.7] {
+        let cfg = driver_config(rho, 120);
+        let job = Arc::clone(&job);
+        g.bench_function(format!("driver_rho_{rho}"), |b| {
+            b.iter(|| {
+                black_box(run_open_system(
+                    black_box(&cfg),
+                    DynamicEquiPartition::new(cfg.processors),
+                    |_rng| Box::new(PipelinedExecutor::new(Arc::clone(&job))),
+                    || Box::new(AControl::new(0.2)),
+                ))
+            })
+        });
+    }
+
+    let sweep = OpenSystemConfig::smoke();
+    g.bench_function("smoke_sweep", |b| {
+        b.iter(|| black_box(open_system_sweep(black_box(&sweep))))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_open_system);
+criterion_main!(benches);

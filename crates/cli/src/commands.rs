@@ -4,7 +4,8 @@
 use crate::options::Options;
 use abg::experiments::{
     self, AblationConfig, AdaptiveQuantumConfig, AllocatorPolicyConfig, MultiprogrammedConfig,
-    OverheadConfig, RobustnessConfig, SingleJobSweepConfig, StealingConfig, TransientConfig,
+    OpenSystemConfig, OpenSystemRow, OverheadConfig, RobustnessConfig, SchedulerOpenPoint,
+    SingleJobSweepConfig, StealingConfig, TransientConfig,
 };
 use abg::report::{f3, mark, Chart, Table};
 use abg_sched::JobExecutor as _;
@@ -29,6 +30,7 @@ pub fn run(command: &str, opts: &Options) -> Result<(), String> {
         "allocators" => allocators(opts),
         "overhead" => overhead(opts),
         "bench" => bench(opts)?,
+        "open" => open(opts),
         "all" => all(opts),
         other => return Err(format!("unknown command '{other}' (try --help)")),
     }
@@ -734,6 +736,129 @@ fn bench(opts: &Options) -> Result<(), String> {
         bench_check(path, &results)?;
     }
     Ok(())
+}
+
+/// Renders one scheduler's fields of an open-system row for the table:
+/// statistics when stable, a dash otherwise.
+fn open_cells(p: &SchedulerOpenPoint) -> Vec<String> {
+    if p.stable {
+        vec![
+            format!("{:.1}±{:.1}", p.mean_response, p.response_half_width),
+            f3(p.slowdown_p50),
+            f3(p.slowdown_p95),
+            f3(p.slowdown_p99),
+        ]
+    } else {
+        vec!["unstable".into(), "-".into(), "-".into(), "-".into()]
+    }
+}
+
+/// Renders the open-system sweep as a JSON document (hand-rolled: the
+/// workspace deliberately has no JSON dependency). `NaN` statistics of
+/// unstable points become `null`.
+fn open_json(mode: &str, cfg: &OpenSystemConfig, rows: &[OpenSystemRow]) -> String {
+    let num = |x: f64| {
+        if x.is_finite() {
+            format!("{x:.6}")
+        } else {
+            "null".to_string()
+        }
+    };
+    let point = |p: &SchedulerOpenPoint| {
+        format!(
+            "{{\"stable\": {}, \"mean_response\": {}, \"response_half_width\": {}, \
+             \"slowdown_p50\": {}, \"slowdown_p95\": {}, \"slowdown_p99\": {}, \
+             \"mean_jobs_in_system\": {}, \"measured_utilization\": {}, \
+             \"quanta\": {}, \"arrivals\": {}}}",
+            p.stable,
+            num(p.mean_response),
+            num(p.response_half_width),
+            num(p.slowdown_p50),
+            num(p.slowdown_p95),
+            num(p.slowdown_p99),
+            num(p.mean_jobs_in_system),
+            num(p.measured_utilization),
+            p.quanta,
+            p.arrivals,
+        )
+    };
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"abg-open-system/v1\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    s.push_str(&format!(
+        "  \"processors\": {}, \"quantum_len\": {},\n",
+        cfg.processors, cfg.quantum_len
+    ));
+    s.push_str(&format!(
+        "  \"fingerprint\": \"{:#018x}\",\n",
+        experiments::open_fingerprint(rows)
+    ));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rho\": {}, \"mean_gap\": {}, \"expected_work\": {}, \"abg\": {}, \
+             \"agreedy\": {}}}{}\n",
+            num(r.rho),
+            num(r.mean_gap),
+            num(r.expected_work),
+            point(&r.abg),
+            point(&r.agreedy),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn open(opts: &Options) {
+    let mut cfg = if opts.smoke {
+        OpenSystemConfig::smoke()
+    } else {
+        OpenSystemConfig::paper()
+    };
+    if let Some(seed) = opts.seed {
+        cfg.seed = seed;
+    }
+    let rows = experiments::open_system_sweep(&cfg);
+    if opts.json {
+        print!(
+            "{}",
+            open_json(if opts.smoke { "smoke" } else { "paper" }, &cfg, &rows)
+        );
+        return;
+    }
+    let mut t = Table::new(&[
+        "rho",
+        "abg_mrt",
+        "abg_sd50",
+        "abg_sd95",
+        "abg_sd99",
+        "agreedy_mrt",
+        "ag_sd50",
+        "ag_sd95",
+        "ag_sd99",
+    ]);
+    for r in &rows {
+        let mut cells = vec![f3(r.rho)];
+        cells.extend(open_cells(&r.abg));
+        cells.extend(open_cells(&r.agreedy));
+        t.row_owned(cells);
+    }
+    emit(
+        "Open system: steady-state response time and slowdown vs offered load (DEQ)",
+        &t,
+        opts,
+    );
+    if !opts.csv {
+        println!(
+            "E[T1] = {:.1} steps/job on P = {}; unstable points tripped saturation detection",
+            rows.first().map(|r| r.expected_work).unwrap_or(f64::NAN),
+            cfg.processors
+        );
+        println!();
+    }
 }
 
 fn all(opts: &Options) {

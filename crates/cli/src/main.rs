@@ -19,6 +19,7 @@
 //!   steal     ABG vs A-Steal vs ABP on the work-stealing substrate
 //!   adaptive  adaptive quantum length (the paper's future work)
 //!   robustness irregular parallelism profiles
+//!   open      open-system ρ sweep (sustained Poisson arrivals)
 //!   all       every experiment at scaled size
 //! ```
 //!

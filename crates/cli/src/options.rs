@@ -10,6 +10,8 @@ pub struct Options {
     pub positional: Vec<String>,
     /// Run at the paper's full scale.
     pub full: bool,
+    /// Run at CI smoke scale (the `open` subcommand).
+    pub smoke: bool,
     /// Emit CSV instead of an aligned table.
     pub csv: bool,
     /// Override the experiment seed.
@@ -46,13 +48,17 @@ commands:
   allocators           DEQ vs round-robin vs proportional share
   overhead             reallocation-overhead sensitivity sweep
   bench [smoke]        kernel benchmark suite (smoke = CI-sized run)
+  open                 open-system rho sweep: steady-state response time
+                       and slowdown under sustained Poisson arrivals
   all                  every experiment at scaled size
 
 flags:
   --full               paper-scale fig5/fig6 (sub-second; the fast paths are cheap)
+  --smoke              open: CI-sized sweep instead of the full-scale one
   --csv                CSV output instead of aligned tables
   --plot               append ASCII charts after the tables
   --json               bench: also write BENCH_kernels.json
+                       open: print the sweep as JSON (with its fingerprint)
   --check PATH         bench: fail if chain_macro throughput regresses
                        more than 30% below the baseline JSON at PATH
   --seed N             override the experiment seed
@@ -65,6 +71,7 @@ flags:
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--full" => opts.full = true,
+                "--smoke" => opts.smoke = true,
                 "--csv" => opts.csv = true,
                 "--plot" => opts.plot = true,
                 "--json" => opts.json = true,
@@ -119,6 +126,15 @@ mod tests {
         assert_eq!(o.command.as_deref(), Some("ablate"));
         assert_eq!(o.positional, vec!["rate"]);
         assert!(o.csv);
+    }
+
+    #[test]
+    fn parses_smoke_flag() {
+        let o = parse(&["open", "--smoke", "--json"]).unwrap();
+        assert_eq!(o.command.as_deref(), Some("open"));
+        assert!(o.smoke);
+        assert!(o.json);
+        assert!(!parse(&["open"]).unwrap().smoke);
     }
 
     #[test]

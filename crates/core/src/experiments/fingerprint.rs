@@ -9,6 +9,7 @@
 //! to record and compare across refactors of the simulation kernels.
 
 use super::multiprogrammed::LoadPoint;
+use super::open_system::{OpenSystemRow, SchedulerOpenPoint};
 use super::single_job::SweepPoint;
 
 /// Incremental FNV-1a over 64-bit words.
@@ -81,6 +82,33 @@ pub fn load_fingerprint(points: &[LoadPoint]) -> u64 {
             .f64(p.agreedy_response_norm)
             .f64(p.makespan_ratio)
             .f64(p.response_ratio);
+    }
+    f.finish()
+}
+
+fn fold_scheduler_point(f: &mut Fingerprint, p: &SchedulerOpenPoint) {
+    f.word(p.stable as u64)
+        .f64(p.mean_response)
+        .f64(p.response_half_width)
+        .f64(p.slowdown_p50)
+        .f64(p.slowdown_p95)
+        .f64(p.slowdown_p99)
+        .f64(p.mean_jobs_in_system)
+        .f64(p.measured_utilization)
+        .word(p.quanta)
+        .word(p.arrivals);
+}
+
+/// Fingerprint of an open-system sweep result (every field of every
+/// row; unstable points contribute their `NaN` bit patterns, which are
+/// produced deterministically by the sweep).
+pub fn open_fingerprint(rows: &[OpenSystemRow]) -> u64 {
+    let mut f = Fingerprint::new();
+    f.word(rows.len() as u64);
+    for r in rows {
+        f.f64(r.rho).f64(r.mean_gap).f64(r.expected_work);
+        fold_scheduler_point(&mut f, &r.abg);
+        fold_scheduler_point(&mut f, &r.agreedy);
     }
     f.finish()
 }

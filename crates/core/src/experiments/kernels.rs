@@ -73,6 +73,10 @@ pub struct KernelBenchConfig {
     pub processors: u32,
     /// Load of the multiprogrammed DEQ kernel.
     pub load: f64,
+    /// Measured completions per repetition of the open-system kernel.
+    pub open_jobs: u64,
+    /// Offered utilization of the open-system kernel (must be stable).
+    pub open_rho: f64,
     /// Suite seed (job generation only; timings are machine-dependent).
     pub seed: u64,
 }
@@ -100,6 +104,8 @@ impl KernelBenchConfig {
             sweep_jobs: 8,
             processors: 128,
             load: 2.0,
+            open_jobs: 400,
+            open_rho: 0.6,
             seed: 0xB16C_2008,
         }
     }
@@ -127,6 +133,8 @@ impl KernelBenchConfig {
             sweep_jobs: 2,
             processors: 32,
             load: 1.0,
+            open_jobs: 60,
+            open_rho: 0.5,
             seed: 0xB16C_2008,
         }
     }
@@ -340,6 +348,35 @@ pub fn run_kernel_suite(cfg: &KernelBenchConfig) -> Vec<KernelResult> {
         (out.total_work(), out.makespan)
     }));
 
+    // Composite: the open-system driver under sustained Poisson
+    // arrivals — admission, per-quantum stepping with drain, and
+    // steady-state collection. Ops are arrivals admitted, steps are the
+    // simulated horizon; the fixed seed keeps both iter-constant.
+    let open_job = Arc::new(PhasedJob::constant(8, 200)); // T1 = 1600
+    let open_cfg = abg_queue::OpenConfig {
+        processors: cfg.processors,
+        quantum_len: 100,
+        arrivals: abg_workload::ArrivalProcess::Poisson {
+            mean_gap: abg_workload::mean_gap_for_utilization(cfg.open_rho, cfg.processors, 1600.0),
+        },
+        warmup_jobs: cfg.open_jobs / 4,
+        measured_jobs: cfg.open_jobs,
+        batches: 8,
+        max_quanta: u64::MAX,
+        saturation: abg_queue::SaturationConfig::default(),
+        seed: cfg.seed,
+    };
+    results.push(measure("open_system", ms, || {
+        let out = abg_queue::run_open_system(
+            &open_cfg,
+            DynamicEquiPartition::new(cfg.processors),
+            |_rng| Box::new(PipelinedExecutor::new(Arc::clone(&open_job))),
+            || Box::new(AControl::new(0.2)),
+        );
+        let stats = out.steady().expect("kernel rho must be stable");
+        (stats.arrivals, stats.horizon)
+    }));
+
     results
 }
 
@@ -377,6 +414,7 @@ mod tests {
                 "sweep_parallel",
                 "single_job_sweep",
                 "multiprogrammed_deq",
+                "open_system",
             ]
         );
         for r in &results {

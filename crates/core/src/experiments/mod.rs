@@ -12,6 +12,7 @@ pub mod allocator_policies;
 pub mod fingerprint;
 pub mod kernels;
 pub mod multiprogrammed;
+pub mod open_system;
 pub mod overhead;
 pub mod robustness;
 pub mod single_job;
@@ -29,9 +30,13 @@ pub use adaptive_quantum::{
 pub use allocator_policies::{
     allocator_policy_comparison, AllocatorPolicyConfig, AllocatorPolicyRow,
 };
-pub use fingerprint::{load_fingerprint, sweep_fingerprint, Fingerprint};
+pub use fingerprint::{load_fingerprint, open_fingerprint, sweep_fingerprint, Fingerprint};
 pub use kernels::{kernel_speedup, run_kernel_suite, KernelBenchConfig, KernelResult};
 pub use multiprogrammed::{multiprogrammed_sweep, LoadPoint, MultiprogrammedConfig};
+pub use open_system::{
+    open_system_sweep, population_expected_work, OpenSystemConfig, OpenSystemRow,
+    SchedulerOpenPoint,
+};
 pub use overhead::{overhead_sweep, OverheadConfig, OverheadRow};
 pub use robustness::{robustness_comparison, RobustnessConfig, RobustnessRow};
 pub use single_job::{single_job_sweep, SingleJobSweepConfig, SweepPoint};

@@ -1,0 +1,334 @@
+//! The open-system ρ sweep: ABG vs A-Greedy under sustained Poisson
+//! arrivals through DEQ.
+//!
+//! The paper's Figure-6 sweep is closed (a fixed set runs to drain);
+//! this experiment asks the open-system question instead: with jobs
+//! arriving indefinitely at offered load ρ, what steady-state mean
+//! response time and slowdown does each task scheduler deliver, and
+//! where does the system stop being stable? Offered load is pinned by
+//! solving the Poisson mean gap from the expected job work,
+//! ρ = E[T₁] / (gap · P) (see
+//! [`abg_workload::mean_gap_for_utilization`]); both schedulers face
+//! the *same* arrival sequence and job population at every ρ.
+
+use super::{parallel_map, task_seed};
+use abg_alloc::DynamicEquiPartition;
+use abg_control::{AControl, AGreedy, RequestCalculator};
+use abg_queue::{run_open_system, OpenConfig, OpenOutcome, SaturationConfig};
+use abg_sched::{JobExecutor, PipelinedExecutor};
+use abg_workload::{expected_work, mean_gap_for_utilization, mixed_factor_job, ArrivalProcess};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Which controller drives every arriving job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scheduler {
+    Abg,
+    AGreedy,
+}
+
+/// Configuration of the open-system ρ sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenSystemConfig {
+    /// Offered utilizations to sweep (values ≥ 1 are expected to be
+    /// reported unstable, not simulated to completion).
+    pub rhos: Vec<f64>,
+    /// Machine size `P`.
+    pub processors: u32,
+    /// Quantum length `L` in steps.
+    pub quantum_len: u64,
+    /// Phase pairs per arriving job.
+    pub pairs: u64,
+    /// Largest parallel width in the mixed-factor job population.
+    pub max_factor: u64,
+    /// Arrivals discarded as warmup before measurement.
+    pub warmup_jobs: u64,
+    /// Arrivals measured per run.
+    pub measured_jobs: u64,
+    /// Batches for the response-time confidence interval.
+    pub batches: u32,
+    /// Hard quanta budget per run.
+    pub max_quanta: u64,
+    /// Monte-Carlo samples for estimating `E[T₁]` of the population.
+    pub work_samples: u32,
+    /// Saturation-detector tuning.
+    pub saturation: SaturationConfig,
+    /// ABG convergence rate `r`.
+    pub rate: f64,
+    /// A-Greedy responsiveness `ρ`.
+    pub responsiveness: f64,
+    /// A-Greedy utilization threshold `δ`.
+    pub utilization: f64,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl OpenSystemConfig {
+    /// Full-scale sweep: ρ from 0.1 to 0.95 plus an intentionally
+    /// overloaded point, on a 64-processor machine.
+    pub fn paper() -> Self {
+        let mut rhos: Vec<f64> = (1..=9).map(|i| i as f64 * 0.1).collect();
+        rhos.push(0.95);
+        rhos.push(1.2); // must be flagged unstable, not simulated forever
+        Self {
+            rhos,
+            processors: 64,
+            quantum_len: 100,
+            pairs: 3,
+            max_factor: 32,
+            warmup_jobs: 500,
+            measured_jobs: 2000,
+            batches: 20,
+            max_quanta: 20_000_000,
+            work_samples: 4096,
+            saturation: SaturationConfig::default(),
+            rate: 0.2,
+            responsiveness: 2.0,
+            utilization: 0.8,
+            seed: 0x09E2,
+        }
+    }
+
+    /// A scaled-down smoke sweep for tests and CI: four ρ points (one
+    /// overloaded) at a size that finishes in well under a second.
+    pub fn smoke() -> Self {
+        Self {
+            rhos: vec![0.2, 0.5, 0.8, 1.2],
+            processors: 16,
+            quantum_len: 20,
+            pairs: 2,
+            max_factor: 8,
+            warmup_jobs: 40,
+            measured_jobs: 160,
+            batches: 8,
+            max_quanta: 500_000,
+            work_samples: 512,
+            saturation: SaturationConfig::default(),
+            rate: 0.2,
+            responsiveness: 2.0,
+            utilization: 0.8,
+            seed: 0x09E2,
+        }
+    }
+}
+
+/// One scheduler's steady-state measurements at one ρ point. Unstable
+/// points report `stable == false` with the statistics fields `NaN`
+/// (the diagnostics that exist either way — quanta, arrivals — are
+/// always filled in).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerOpenPoint {
+    /// Whether the run reached its measurement target.
+    pub stable: bool,
+    /// Mean response time in steps (`NaN` when unstable).
+    pub mean_response: f64,
+    /// ~95% batch-means half-width of the mean (`NaN` when unstable).
+    pub response_half_width: f64,
+    /// Median slowdown (`NaN` when unstable).
+    pub slowdown_p50: f64,
+    /// 95th-percentile slowdown (`NaN` when unstable).
+    pub slowdown_p95: f64,
+    /// 99th-percentile slowdown (`NaN` when unstable).
+    pub slowdown_p99: f64,
+    /// Time-average in-system job count (`NaN` when unstable).
+    pub mean_jobs_in_system: f64,
+    /// Served utilization: completed work over `P · horizon` (`NaN`
+    /// when unstable).
+    pub measured_utilization: f64,
+    /// Quanta the run executed (before aborting, when unstable).
+    pub quanta: u64,
+    /// Arrivals admitted.
+    pub arrivals: u64,
+}
+
+impl SchedulerOpenPoint {
+    fn from_outcome(outcome: &OpenOutcome) -> Self {
+        match outcome {
+            OpenOutcome::Steady(s) => Self {
+                stable: true,
+                mean_response: s.response.mean,
+                response_half_width: s.response.half_width,
+                slowdown_p50: s.slowdown.p50,
+                slowdown_p95: s.slowdown.p95,
+                slowdown_p99: s.slowdown.p99,
+                mean_jobs_in_system: s.mean_jobs_in_system,
+                measured_utilization: s.measured_utilization,
+                quanta: s.quanta,
+                arrivals: s.arrivals,
+            },
+            OpenOutcome::Unstable(u) => Self {
+                stable: false,
+                mean_response: f64::NAN,
+                response_half_width: f64::NAN,
+                slowdown_p50: f64::NAN,
+                slowdown_p95: f64::NAN,
+                slowdown_p99: f64::NAN,
+                mean_jobs_in_system: f64::NAN,
+                measured_utilization: f64::NAN,
+                quanta: u.quanta,
+                arrivals: u.arrivals,
+            },
+        }
+    }
+}
+
+/// One ρ point of the sweep: both schedulers against the same arrival
+/// sequence and job population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpenSystemRow {
+    /// Offered utilization.
+    pub rho: f64,
+    /// Poisson mean inter-arrival gap solved for this ρ.
+    pub mean_gap: f64,
+    /// Estimated `E[T₁]` of the job population (steps).
+    pub expected_work: f64,
+    /// ABG's measurements.
+    pub abg: SchedulerOpenPoint,
+    /// A-Greedy's measurements.
+    pub agreedy: SchedulerOpenPoint,
+}
+
+fn run_point(cfg: &OpenSystemConfig, mean_gap: f64, index: u64, which: Scheduler) -> OpenOutcome {
+    let open = OpenConfig {
+        processors: cfg.processors,
+        quantum_len: cfg.quantum_len,
+        arrivals: ArrivalProcess::Poisson { mean_gap },
+        warmup_jobs: cfg.warmup_jobs,
+        measured_jobs: cfg.measured_jobs,
+        batches: cfg.batches,
+        max_quanta: cfg.max_quanta,
+        saturation: cfg.saturation,
+        // Per-ρ seed shared by BOTH schedulers: identical rng, identical
+        // arrival times, identical job structures — a paired comparison.
+        seed: task_seed(cfg.seed, index, 1),
+    };
+    let (max_factor, quantum_len, pairs) = (cfg.max_factor, cfg.quantum_len, cfg.pairs);
+    let make_executor = move |rng: &mut StdRng| -> Box<dyn JobExecutor + Send> {
+        Box::new(PipelinedExecutor::new(mixed_factor_job(
+            max_factor,
+            quantum_len,
+            pairs,
+            rng,
+        )))
+    };
+    match which {
+        Scheduler::Abg => {
+            let rate = cfg.rate;
+            run_open_system(
+                &open,
+                DynamicEquiPartition::new(cfg.processors),
+                make_executor,
+                move || -> Box<dyn RequestCalculator + Send> { Box::new(AControl::new(rate)) },
+            )
+        }
+        Scheduler::AGreedy => {
+            let (rho, delta) = (cfg.responsiveness, cfg.utilization);
+            run_open_system(
+                &open,
+                DynamicEquiPartition::new(cfg.processors),
+                make_executor,
+                move || -> Box<dyn RequestCalculator + Send> { Box::new(AGreedy::new(rho, delta)) },
+            )
+        }
+    }
+}
+
+/// Estimates `E[T₁]` of the configured job population by Monte-Carlo
+/// sampling (deterministic in the config seed).
+pub fn population_expected_work(cfg: &OpenSystemConfig) -> f64 {
+    let mut rng = StdRng::seed_from_u64(task_seed(cfg.seed, u64::MAX, 0));
+    expected_work(cfg.work_samples, &mut rng, |rng| {
+        mixed_factor_job(cfg.max_factor, cfg.quantum_len, cfg.pairs, rng)
+    })
+}
+
+/// Runs the open-system sweep; one [`OpenSystemRow`] per configured ρ.
+///
+/// # Panics
+///
+/// Panics if the config has no ρ values or an inconsistent measurement
+/// setup (see [`OpenConfig`]).
+pub fn open_system_sweep(cfg: &OpenSystemConfig) -> Vec<OpenSystemRow> {
+    assert!(!cfg.rhos.is_empty(), "sweep needs at least one rho");
+    let work = population_expected_work(cfg);
+    let units: Vec<(u64, Scheduler)> = (0..cfg.rhos.len() as u64)
+        .flat_map(|i| [(i, Scheduler::Abg), (i, Scheduler::AGreedy)])
+        .collect();
+    let outcomes = parallel_map(units, |&(index, which)| {
+        let rho = cfg.rhos[index as usize];
+        let gap = mean_gap_for_utilization(rho, cfg.processors, work);
+        SchedulerOpenPoint::from_outcome(&run_point(cfg, gap, index, which))
+    });
+    cfg.rhos
+        .iter()
+        .enumerate()
+        .map(|(i, &rho)| OpenSystemRow {
+            rho,
+            mean_gap: mean_gap_for_utilization(rho, cfg.processors, work),
+            expected_work: work,
+            abg: outcomes[2 * i],
+            agreedy: outcomes[2 * i + 1],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_is_stable_below_one_and_unstable_above() {
+        let cfg = OpenSystemConfig::smoke();
+        let rows = open_system_sweep(&cfg);
+        assert_eq!(rows.len(), cfg.rhos.len());
+        for row in &rows {
+            if row.rho < 0.9 {
+                assert!(row.abg.stable, "ABG unstable at rho={}", row.rho);
+                assert!(row.agreedy.stable, "A-Greedy unstable at rho={}", row.rho);
+                assert!(row.abg.mean_response.is_finite());
+                assert!(row.agreedy.mean_response.is_finite());
+                assert!(row.abg.slowdown_p50 >= 1.0);
+            }
+            if row.rho >= 1.0 {
+                assert!(!row.abg.stable, "ABG steady at rho={}", row.rho);
+                assert!(!row.agreedy.stable, "A-Greedy steady at rho={}", row.rho);
+                assert!(row.abg.mean_response.is_nan());
+            }
+            assert!(row.mean_gap > 0.0 && row.expected_work > 0.0);
+        }
+    }
+
+    #[test]
+    fn response_time_grows_with_offered_load() {
+        let mut cfg = OpenSystemConfig::smoke();
+        cfg.rhos = vec![0.2, 0.8];
+        let rows = open_system_sweep(&cfg);
+        assert!(rows[1].abg.mean_response >= rows[0].abg.mean_response);
+        assert!(rows[1].abg.mean_jobs_in_system > rows[0].abg.mean_jobs_in_system);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        // Bit-level comparison through the fingerprint: unstable rows
+        // hold NaN statistics, so `==` on the rows themselves would
+        // always fail (NaN != NaN) — the fingerprint folds exact bit
+        // patterns instead.
+        let mut cfg = OpenSystemConfig::smoke();
+        cfg.rhos = vec![0.3, 1.2];
+        cfg.measured_jobs = 80;
+        cfg.batches = 8;
+        let a = crate::experiments::open_fingerprint(&open_system_sweep(&cfg));
+        let b = crate::experiments::open_fingerprint(&open_system_sweep(&cfg));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn schedulers_face_the_same_offered_load() {
+        let mut cfg = OpenSystemConfig::smoke();
+        cfg.rhos = vec![0.4];
+        let row = &open_system_sweep(&cfg)[0];
+        // Paired runs: identical seed → identical arrival count.
+        assert_eq!(row.abg.arrivals, row.agreedy.arrivals);
+    }
+}

@@ -61,6 +61,7 @@ pub mod report;
 pub use abg_alloc as alloc;
 pub use abg_control as control;
 pub use abg_dag as dag;
+pub use abg_queue as queue;
 pub use abg_sched as sched;
 pub use abg_sim as sim;
 pub use abg_workload as workload;

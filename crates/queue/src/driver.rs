@@ -1,0 +1,384 @@
+//! The open-system simulation driver: sustained arrivals through the
+//! shared quantum engine.
+//!
+//! Jobs arrive indefinitely from a stationary [`ArrivalProcess`]; each
+//! arrival is admitted into the [`QuantumEngine`] (the same stepping
+//! core behind `MultiJobSim`) and drained when it completes. The driver
+//! never materializes the job population: memory is proportional to the
+//! number of jobs *in the system*, so it can push millions of jobs
+//! through a run if the statistics call for it.
+//!
+//! Measurement protocol (see `EXPERIMENTS.md` for the methodology):
+//!
+//! 1. the first `warmup_jobs` arrivals are warmup — they run normally
+//!    but their responses are discarded (initial-transient truncation);
+//! 2. the next `measured_jobs` arrivals are the measurement population:
+//!    the run continues (arrivals never stop) until every one of them
+//!    has completed;
+//! 3. mean response time gets a batch-means confidence interval and
+//!    slowdowns (response over the job's solo lower bound
+//!    `max(T∞, T1/P)`) get nearest-rank percentiles;
+//! 4. a [`SaturationDetector`] watches the in-system job count and
+//!    aborts runs that will never reach steady state (ρ ≥ 1), reporting
+//!    them as [`OpenOutcome::Unstable`] instead of hanging.
+
+use crate::saturation::{SaturationConfig, SaturationDetector, SaturationReason};
+use crate::stats::{batch_means, percentiles, ConfidenceInterval, PercentileSummary};
+use abg_alloc::Allocator;
+use abg_control::RequestCalculator;
+use abg_sched::JobExecutor;
+use abg_sim::{CompletedJob, QuantumEngine};
+use abg_workload::ArrivalProcess;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one open-system run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenConfig {
+    /// Machine size `P`.
+    pub processors: u32,
+    /// Quantum length `L` in steps.
+    pub quantum_len: u64,
+    /// The arrival process (absolute times are drawn from its stream).
+    pub arrivals: ArrivalProcess,
+    /// Arrivals discarded as warmup before measurement starts.
+    pub warmup_jobs: u64,
+    /// Arrivals measured after warmup; the run ends when all of them
+    /// completed (arrivals continue throughout).
+    pub measured_jobs: u64,
+    /// Batches for the response-time confidence interval.
+    pub batches: u32,
+    /// Hard quanta budget; exhausting it marks the run unstable.
+    pub max_quanta: u64,
+    /// Saturation-detector tuning.
+    pub saturation: SaturationConfig,
+    /// Seed driving the arrival stream and the job generator.
+    pub seed: u64,
+}
+
+impl OpenConfig {
+    /// Checks internal consistency (the engine checks `quantum_len`).
+    fn validate(&self) {
+        assert!(self.processors > 0, "machine must have processors");
+        assert!(self.measured_jobs > 0, "nothing to measure");
+        assert!(self.batches >= 2, "batch means needs at least two batches");
+        assert!(
+            self.measured_jobs >= self.batches as u64,
+            "need at least one observation per batch ({} jobs < {} batches)",
+            self.measured_jobs,
+            self.batches
+        );
+        assert!(self.max_quanta > 0, "need a positive quanta budget");
+    }
+}
+
+/// Steady-state measurements of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SteadyStats {
+    /// Mean response time (steps) with its batch-means interval.
+    pub response: ConfidenceInterval,
+    /// Slowdown percentiles (response over `max(T∞, T1/P)`).
+    pub slowdown: PercentileSummary,
+    /// Measured completions (equals the configured `measured_jobs`).
+    pub completed: u64,
+    /// Total arrivals admitted over the run (warmup + measured + tail).
+    pub arrivals: u64,
+    /// Quanta executed.
+    pub quanta: u64,
+    /// Final simulation step (the horizon the run covered).
+    pub horizon: u64,
+    /// Time-average in-system job count over executed quanta.
+    pub mean_jobs_in_system: f64,
+    /// Completed work over machine capacity `P · horizon` — the
+    /// utilization the machine actually served (sanity check against
+    /// the offered ρ).
+    pub measured_utilization: f64,
+}
+
+/// Diagnostics of a run aborted as unstable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnstableReport {
+    /// What tripped.
+    pub reason: SaturationReason,
+    /// Quanta executed before aborting.
+    pub quanta: u64,
+    /// Simulation step at abort.
+    pub horizon: u64,
+    /// Jobs still in the system at abort.
+    pub jobs_in_system: u64,
+    /// Measured completions collected before aborting.
+    pub completed: u64,
+    /// Arrivals admitted before aborting.
+    pub arrivals: u64,
+}
+
+/// The outcome of an open-system run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OpenOutcome {
+    /// The run reached its measurement target; steady-state statistics.
+    Steady(SteadyStats),
+    /// The run was aborted by saturation detection (or budget
+    /// exhaustion) — the configuration is reported unstable.
+    Unstable(UnstableReport),
+}
+
+impl OpenOutcome {
+    /// Whether the run completed its measurement.
+    pub fn is_steady(&self) -> bool {
+        matches!(self, OpenOutcome::Steady(_))
+    }
+
+    /// The steady statistics, if any.
+    pub fn steady(&self) -> Option<&SteadyStats> {
+        match self {
+            OpenOutcome::Steady(s) => Some(s),
+            OpenOutcome::Unstable(_) => None,
+        }
+    }
+}
+
+/// Runs one open-system simulation.
+///
+/// `make_executor` builds the task-scheduler side of each arriving job
+/// (it receives the driver's RNG, so job populations are sampled
+/// deterministically from `cfg.seed`); `make_calculator` builds its
+/// request calculator. The allocator is shared by every job in the
+/// system — [`abg_alloc::DynamicEquiPartition`] reproduces the paper's
+/// two-level setup.
+///
+/// # Panics
+///
+/// Panics on an inconsistent configuration (see [`OpenConfig`]).
+pub fn run_open_system<A, E, C>(
+    cfg: &OpenConfig,
+    allocator: A,
+    mut make_executor: E,
+    mut make_calculator: C,
+) -> OpenOutcome
+where
+    A: Allocator,
+    E: FnMut(&mut StdRng) -> Box<dyn JobExecutor + Send>,
+    C: FnMut() -> Box<dyn RequestCalculator + Send>,
+{
+    cfg.validate();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut stream = cfg.arrivals.stream();
+    let mut engine = QuantumEngine::new(allocator, cfg.quantum_len);
+    let mut detector = SaturationDetector::new(cfg.saturation);
+
+    let warmup = cfg.warmup_jobs;
+    let measured = cfg.measured_jobs;
+    // Measured samples keyed by arrival id (NaN = not yet completed);
+    // batch means runs over arrival order, the natural time order of
+    // the process.
+    let mut responses = vec![f64::NAN; measured as usize];
+    let mut slowdowns = vec![f64::NAN; measured as usize];
+    let mut outstanding = measured;
+
+    let mut arrivals = 0u64;
+    let mut next_arrival = stream.next_arrival(&mut rng);
+    let mut completed_work = 0u64;
+    let mut done: Vec<CompletedJob> = Vec::new();
+
+    loop {
+        // Admit everything due at (or before) the current boundary; the
+        // admission id is the arrival index.
+        while next_arrival <= engine.now() {
+            let executor = make_executor(&mut rng);
+            engine.admit(executor, make_calculator(), next_arrival);
+            arrivals += 1;
+            next_arrival = stream.next_arrival(&mut rng);
+        }
+        if !engine.any_live() {
+            // Empty system: fast-forward to the boundary of the next
+            // arrival instead of stepping idle quanta.
+            engine.skip_idle_until(next_arrival);
+            continue;
+        }
+
+        done.clear();
+        engine.step_quantum(&mut done);
+        detector.record(engine.jobs_in_system());
+
+        for job in &done {
+            completed_work += job.work;
+            if job.id < warmup || job.id >= warmup + measured {
+                continue;
+            }
+            let slot = (job.id - warmup) as usize;
+            let response = job.response_time() as f64;
+            // Solo lower bound on response: the job cannot beat its
+            // span nor perfect speedup on the whole machine.
+            let lower = (job.span as f64).max(job.work as f64 / cfg.processors as f64);
+            responses[slot] = response;
+            slowdowns[slot] = response / lower.max(1.0);
+            outstanding -= 1;
+        }
+
+        if outstanding == 0 {
+            let response = batch_means(&responses, cfg.batches)
+                .expect("validate() guarantees one observation per batch");
+            let slowdown = percentiles(&slowdowns).expect("measured_jobs > 0");
+            let horizon = engine.now();
+            return OpenOutcome::Steady(SteadyStats {
+                response,
+                slowdown,
+                completed: measured,
+                arrivals,
+                quanta: engine.quanta(),
+                horizon,
+                mean_jobs_in_system: detector.mean_jobs_in_system(),
+                measured_utilization: completed_work as f64
+                    / (cfg.processors as f64 * horizon as f64),
+            });
+        }
+
+        let reason = detector.check().or_else(|| {
+            (engine.quanta() >= cfg.max_quanta).then_some(SaturationReason::HorizonExhausted {
+                quanta: cfg.max_quanta,
+            })
+        });
+        if let Some(reason) = reason {
+            return OpenOutcome::Unstable(UnstableReport {
+                reason,
+                quanta: engine.quanta(),
+                horizon: engine.now(),
+                jobs_in_system: engine.jobs_in_system() as u64,
+                completed: measured - outstanding,
+                arrivals,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abg_alloc::DynamicEquiPartition;
+    use abg_control::AControl;
+    use abg_dag::PhasedJob;
+    use abg_sched::PipelinedExecutor;
+    use abg_workload::{mean_gap_for_utilization, ArrivalProcess};
+
+    /// Constant width-2, 40-level jobs: T1 = 80, T∞ = 40.
+    fn constant_job() -> Box<dyn JobExecutor + Send> {
+        Box::new(PipelinedExecutor::new(PhasedJob::constant(2, 40)))
+    }
+
+    fn config(rho: f64) -> OpenConfig {
+        OpenConfig {
+            processors: 16,
+            quantum_len: 10,
+            arrivals: ArrivalProcess::Poisson {
+                mean_gap: mean_gap_for_utilization(rho, 16, 80.0),
+            },
+            warmup_jobs: 50,
+            measured_jobs: 200,
+            batches: 10,
+            max_quanta: 2_000_000,
+            saturation: SaturationConfig::default(),
+            seed: 0x0BE7,
+        }
+    }
+
+    fn run(cfg: &OpenConfig) -> OpenOutcome {
+        run_open_system(
+            cfg,
+            DynamicEquiPartition::new(cfg.processors),
+            |_rng| constant_job(),
+            || Box::new(AControl::new(0.2)),
+        )
+    }
+
+    #[test]
+    fn light_load_reaches_steady_state_with_finite_statistics() {
+        let out = run(&config(0.3));
+        let stats = out.steady().expect("rho = 0.3 must be stable");
+        assert_eq!(stats.completed, 200);
+        assert!(stats.response.mean.is_finite() && stats.response.mean >= 40.0);
+        assert!(stats.response.half_width.is_finite());
+        assert!(stats.slowdown.p50 >= 1.0, "slowdown below its lower bound");
+        assert!(stats.slowdown.p50 <= stats.slowdown.p95);
+        assert!(stats.slowdown.p95 <= stats.slowdown.p99);
+        assert!(stats.measured_utilization > 0.05 && stats.measured_utilization < 1.0);
+        assert!(stats.arrivals >= 250, "arrivals kept flowing past warmup");
+    }
+
+    #[test]
+    fn overload_is_flagged_unstable_not_hung() {
+        let out = run(&config(1.5));
+        match out {
+            OpenOutcome::Unstable(report) => {
+                assert!(
+                    matches!(
+                        report.reason,
+                        SaturationReason::QueueGrowth { .. } | SaturationReason::InSystemCap { .. }
+                    ),
+                    "expected a queue-based trip, got {:?}",
+                    report.reason
+                );
+                assert!(report.jobs_in_system > 0);
+            }
+            OpenOutcome::Steady(s) => panic!("rho = 1.5 reported steady: {s:?}"),
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_fixed_seed() {
+        let a = run(&config(0.4));
+        let b = run(&config(0.4));
+        assert_eq!(a, b);
+        let mut other = config(0.4);
+        other.seed ^= 1;
+        assert_ne!(run(&other), a, "seed must matter");
+    }
+
+    #[test]
+    fn heavier_stable_load_has_larger_response() {
+        let light = run(&config(0.15));
+        let heavy = run(&config(0.75));
+        let (light, heavy) = (light.steady().unwrap(), heavy.steady().unwrap());
+        assert!(
+            heavy.response.mean >= light.response.mean,
+            "queueing delay should grow with load: {} vs {}",
+            heavy.response.mean,
+            light.response.mean
+        );
+        assert!(heavy.mean_jobs_in_system > light.mean_jobs_in_system);
+    }
+
+    #[test]
+    fn trace_arrivals_drive_the_driver_too() {
+        let mut cfg = config(0.3);
+        cfg.arrivals = ArrivalProcess::Trace {
+            gaps: vec![20, 0, 40],
+        };
+        let out = run(&cfg);
+        assert!(out.is_steady(), "deterministic gaps at light load");
+    }
+
+    #[test]
+    fn quanta_budget_reports_horizon_exhausted() {
+        let mut cfg = config(0.3);
+        cfg.max_quanta = 16;
+        match run(&cfg) {
+            OpenOutcome::Unstable(report) => {
+                assert!(matches!(
+                    report.reason,
+                    SaturationReason::HorizonExhausted { quanta: 16 }
+                ));
+            }
+            OpenOutcome::Steady(_) => panic!("16 quanta cannot finish 250 jobs"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one observation per batch")]
+    fn too_few_measured_jobs_for_batches_rejected() {
+        let mut cfg = config(0.3);
+        cfg.measured_jobs = 4;
+        cfg.batches = 10;
+        let _ = run(&cfg);
+    }
+}

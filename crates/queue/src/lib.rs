@@ -1,0 +1,67 @@
+//! Open-system queueing subsystem for the ABG reproduction.
+//!
+//! The paper's experiments are *closed*: a fixed job set is released,
+//! the machine runs to drain, and makespan/waste are compared. Real
+//! schedulers also face the *open* regime — jobs arrive indefinitely
+//! from a stationary process and the question becomes whether the
+//! system is stable at a given offered load ρ and, when it is, what
+//! mean response time and slowdown jobs see in steady state.
+//!
+//! This crate supplies that regime on top of the shared
+//! [`abg_sim::QuantumEngine`] stepping core:
+//!
+//! * [`driver`] — [`run_open_system`]: sustained-arrival simulation
+//!   whose memory footprint tracks the in-system population, not the
+//!   total number of arrivals;
+//! * [`stats`] — [`batch_means`] confidence intervals and nearest-rank
+//!   [`percentiles`] for steady-state output analysis;
+//! * [`saturation`] — the [`SaturationDetector`] queue-length trend
+//!   test that aborts never-steady runs (ρ ≥ 1) instead of hanging.
+//!
+//! Offered load is set through
+//! [`abg_workload::mean_gap_for_utilization`]: ρ = E[T₁] / (gap · P),
+//! so solving for the Poisson mean gap pins the sweep points.
+//!
+//! ```
+//! use abg_alloc::DynamicEquiPartition;
+//! use abg_control::AControl;
+//! use abg_dag::PhasedJob;
+//! use abg_queue::{run_open_system, OpenConfig, SaturationConfig};
+//! use abg_sched::PipelinedExecutor;
+//! use abg_workload::{mean_gap_for_utilization, ArrivalProcess};
+//!
+//! let cfg = OpenConfig {
+//!     processors: 8,
+//!     quantum_len: 10,
+//!     arrivals: ArrivalProcess::Poisson {
+//!         // T1 = 2 * 30 = 60 steps per job, offered at rho = 0.4.
+//!         mean_gap: mean_gap_for_utilization(0.4, 8, 60.0),
+//!     },
+//!     warmup_jobs: 20,
+//!     measured_jobs: 60,
+//!     batches: 6,
+//!     max_quanta: 1_000_000,
+//!     saturation: SaturationConfig::default(),
+//!     seed: 42,
+//! };
+//! let outcome = run_open_system(
+//!     &cfg,
+//!     DynamicEquiPartition::new(cfg.processors),
+//!     |_rng| Box::new(PipelinedExecutor::new(PhasedJob::constant(2, 30))),
+//!     || Box::new(AControl::new(0.2)),
+//! );
+//! let stats = outcome.steady().expect("light load is stable");
+//! assert!(stats.response.mean.is_finite());
+//! assert!(stats.slowdown.p50 >= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod saturation;
+pub mod stats;
+
+pub use driver::{run_open_system, OpenConfig, OpenOutcome, SteadyStats, UnstableReport};
+pub use saturation::{SaturationConfig, SaturationDetector, SaturationReason};
+pub use stats::{batch_means, percentiles, ConfidenceInterval, PercentileSummary};

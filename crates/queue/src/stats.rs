@@ -1,0 +1,205 @@
+//! Steady-state output analysis: batch-means confidence intervals and
+//! percentile summaries.
+//!
+//! A single open-system run produces one long, autocorrelated sequence
+//! of per-job response times; the sample variance of that sequence
+//! wildly underestimates the variance of its mean. The standard fix
+//! (Law & Kelton's method of batch means) groups consecutive
+//! observations into `B` batches, treats the batch means as
+//! approximately independent, and builds a Student-t interval from
+//! their spread.
+
+use serde::{Deserialize, Serialize};
+
+/// A mean with a symmetric confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate: the grand mean over every batched observation.
+    pub mean: f64,
+    /// Half-width of the ~95% interval (`mean ± half_width`).
+    pub half_width: f64,
+    /// Batches the interval was built from.
+    pub batches: u32,
+    /// Observations per batch (the trailing remainder is dropped).
+    pub batch_size: u64,
+}
+
+impl ConfidenceInterval {
+    /// Relative half-width `half_width / mean` (`f64::INFINITY` for a
+    /// zero mean) — the usual run-length quality criterion.
+    pub fn relative_half_width(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width / self.mean.abs()
+        }
+    }
+}
+
+/// Two-sided 97.5% Student-t quantile (95% interval) for `df` degrees
+/// of freedom; the asymptotic normal quantile beyond the table.
+fn t_quantile_975(df: u32) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[(df - 1) as usize],
+        _ => 1.96,
+    }
+}
+
+/// Batch-means confidence interval for the mean of an autocorrelated
+/// sequence (observations in collection order).
+///
+/// Splits `samples` into `batches` equal consecutive batches (dropping
+/// the trailing remainder), and returns the grand mean of the batched
+/// observations with a ~95% Student-t half-width computed from the
+/// batch-mean spread. Returns `None` when there are not enough
+/// observations for every batch to hold at least one (`len < batches`)
+/// or fewer than two batches were requested.
+pub fn batch_means(samples: &[f64], batches: u32) -> Option<ConfidenceInterval> {
+    if batches < 2 {
+        return None;
+    }
+    let batch_size = (samples.len() / batches as usize) as u64;
+    if batch_size == 0 {
+        return None;
+    }
+    let used = batch_size as usize * batches as usize;
+    let means: Vec<f64> = samples[..used]
+        .chunks_exact(batch_size as usize)
+        .map(|b| b.iter().sum::<f64>() / batch_size as f64)
+        .collect();
+    let grand = means.iter().sum::<f64>() / means.len() as f64;
+    let var =
+        means.iter().map(|m| (m - grand) * (m - grand)).sum::<f64>() / (means.len() - 1) as f64;
+    let half_width = t_quantile_975(batches - 1) * (var / means.len() as f64).sqrt();
+    Some(ConfidenceInterval {
+        mean: grand,
+        half_width,
+        batches,
+        batch_size,
+    })
+}
+
+/// Nearest-rank percentile summary of a sample set (order-free input).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PercentileSummary {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// Computes the summary by sorting a copy of the samples (nearest-rank
+/// definition: the smallest observation with at least `q·n` at or below
+/// it). Returns `None` for an empty sample set.
+pub fn percentiles(samples: &[f64]) -> Option<PercentileSummary> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("percentiles need orderable samples")
+    });
+    let rank = |q: f64| {
+        let n = sorted.len();
+        let k = ((q * n as f64).ceil() as usize).clamp(1, n);
+        sorted[k - 1]
+    };
+    Some(PercentileSummary {
+        p50: rank(0.50),
+        p95: rank(0.95),
+        p99: rank(0.99),
+        max: *sorted.last().expect("non-empty"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_means_of_constant_sequence_has_zero_width() {
+        let ci = batch_means(&[4.0; 100], 10).unwrap();
+        assert_eq!(ci.mean, 4.0);
+        assert_eq!(ci.half_width, 0.0);
+        assert_eq!(ci.batches, 10);
+        assert_eq!(ci.batch_size, 10);
+        assert_eq!(ci.relative_half_width(), 0.0);
+    }
+
+    #[test]
+    fn batch_means_drops_the_trailing_remainder() {
+        // 23 samples into 4 batches: size 5, the last 3 ignored.
+        let samples: Vec<f64> = (0..23).map(|i| i as f64).collect();
+        let ci = batch_means(&samples, 4).unwrap();
+        assert_eq!(ci.batch_size, 5);
+        // Grand mean over the first 20 naturals: 9.5.
+        assert!((ci.mean - 9.5).abs() < 1e-12);
+        assert!(ci.half_width > 0.0);
+    }
+
+    #[test]
+    fn batch_means_covers_a_known_mean() {
+        // Deterministic pseudo-noise around 10: the interval must cover 10.
+        let samples: Vec<f64> = (0..1000)
+            .map(|i| 10.0 + ((i * 2654435761u64 % 97) as f64 - 48.0) / 48.0)
+            .collect();
+        let ci = batch_means(&samples, 20).unwrap();
+        assert!((ci.mean - 10.0).abs() < ci.half_width.max(0.2), "{ci:?}");
+    }
+
+    #[test]
+    fn batch_means_needs_enough_samples_and_batches() {
+        assert!(batch_means(&[1.0, 2.0, 3.0], 4).is_none());
+        assert!(batch_means(&[1.0, 2.0, 3.0], 1).is_none());
+        assert!(batch_means(&[], 2).is_none());
+        assert!(batch_means(&[1.0, 2.0], 2).is_some());
+    }
+
+    #[test]
+    fn wider_intervals_for_fewer_batches() {
+        // Same data; 2 batches pay t(1) = 12.7 vs t(9) = 2.26.
+        let samples: Vec<f64> = (0..100).map(|i| (i / 10) as f64).collect();
+        let wide = batch_means(&samples, 2).unwrap();
+        let narrow = batch_means(&samples, 10).unwrap();
+        assert!(wide.half_width > narrow.half_width);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank_on_small_sets() {
+        let s = percentiles(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.p95, 3.0);
+        assert_eq!(s.p99, 3.0);
+        assert_eq!(s.max, 3.0);
+        assert!(percentiles(&[]).is_none());
+    }
+
+    #[test]
+    fn percentiles_on_a_uniform_ramp() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = percentiles(&samples).unwrap();
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn t_table_decreases_toward_normal() {
+        assert!(t_quantile_975(1) > t_quantile_975(5));
+        assert!(t_quantile_975(5) > t_quantile_975(30));
+        assert_eq!(t_quantile_975(1000), 1.96);
+        assert_eq!(t_quantile_975(0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,351 @@
+//! The reusable quantum-synchronous stepping core of the two-level
+//! simulator.
+//!
+//! [`MultiJobSim`](crate::MultiJobSim) historically owned the whole
+//! per-quantum loop (live-set selection, request gathering, allocation,
+//! task-scheduler stepping, waste/trace accounting), which welded it to
+//! a *closed* system: a fixed job vector, run to drain. The open-system
+//! driver in `abg-queue` needs the same loop over an *unbounded* arrival
+//! stream, so the loop lives here as [`QuantumEngine`]: jobs are
+//! admitted at any time (including mid-run), each quantum is stepped
+//! explicitly, and completed jobs are drained out of the engine so a
+//! sustained-arrival simulation runs in memory proportional to the
+//! number of jobs *in the system*, not the number ever submitted.
+//!
+//! The engine preserves the paper's accounting exactly: time is
+//! quantum-synchronous, a job released mid-quantum joins at the next
+//! boundary, and a job finishing mid-quantum holds its allotment until
+//! the boundary (counted as waste). `MultiJobSim` is now a thin
+//! closed-system shell over this engine; the sweep-fingerprint suite
+//! pins the delegation bit-identical to the pre-refactor loop.
+
+use crate::trace::QuantumRecord;
+use abg_alloc::Allocator;
+use abg_control::RequestCalculator;
+use abg_sched::JobExecutor;
+
+/// One admitted job inside the engine.
+struct Slot {
+    id: u64,
+    executor: Box<dyn JobExecutor + Send>,
+    calculator: Box<dyn RequestCalculator + Send>,
+    release_step: u64,
+    request: f64,
+    completion: Option<u64>,
+    waste: u64,
+    quanta: u64,
+    trace: Vec<QuantumRecord>,
+}
+
+/// A job drained from the engine after completing, with everything a
+/// driver needs to account for it.
+#[derive(Debug)]
+pub struct CompletedJob {
+    /// Admission-order identifier (0-based, monotone across the run).
+    pub id: u64,
+    /// Release (arrival) step as submitted.
+    pub release: u64,
+    /// Absolute completion step.
+    pub completion: u64,
+    /// Work `T1` of the job.
+    pub work: u64,
+    /// Critical-path length `T∞` of the job.
+    pub span: u64,
+    /// Processor cycles wasted on this job.
+    pub waste: u64,
+    /// Quanta in which the job was live.
+    pub quanta: u64,
+    /// Per-quantum trace (empty unless tracing is on).
+    pub trace: Vec<QuantumRecord>,
+}
+
+impl CompletedJob {
+    /// Response time: completion minus release.
+    pub fn response_time(&self) -> u64 {
+        self.completion - self.release
+    }
+}
+
+/// The quantum-synchronous stepping core: a machine-wide allocator, a
+/// set of in-system jobs, and one explicit-step API.
+///
+/// Drivers call [`admit`](QuantumEngine::admit) whenever a job enters
+/// the system and [`step_quantum`](QuantumEngine::step_quantum) once per
+/// quantum; completed jobs are moved out into the caller's buffer, so
+/// the engine only ever holds the jobs currently in the system.
+pub struct QuantumEngine<A: Allocator> {
+    allocator: A,
+    quantum_len: u64,
+    now: u64,
+    quanta: u64,
+    record_traces: bool,
+    next_id: u64,
+    slots: Vec<Slot>,
+    // Scratch buffers reused across quanta: the steady-state loop does
+    // no heap allocation beyond executor internals.
+    live: Vec<usize>,
+    requests: Vec<f64>,
+    allotments: Vec<u32>,
+    retained: Vec<Slot>,
+}
+
+impl<A: Allocator> QuantumEngine<A> {
+    /// Creates an engine over the given allocator and quantum length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum_len == 0`.
+    pub fn new(allocator: A, quantum_len: u64) -> Self {
+        assert!(quantum_len > 0, "quantum length must be positive");
+        Self {
+            allocator,
+            quantum_len,
+            now: 0,
+            quanta: 0,
+            record_traces: false,
+            next_id: 0,
+            slots: Vec::new(),
+            live: Vec::new(),
+            requests: Vec::new(),
+            allotments: Vec::new(),
+            retained: Vec::new(),
+        }
+    }
+
+    /// Records a [`QuantumRecord`] per job per quantum (returned in
+    /// [`CompletedJob::trace`]). Costs memory proportional to in-system
+    /// jobs × their live quanta.
+    pub fn with_traces(mut self) -> Self {
+        self.record_traces = true;
+        self
+    }
+
+    /// Admits a job released at `release_step`, returning its admission
+    /// id. The job participates from the first quantum boundary at or
+    /// after its release.
+    pub fn admit(
+        &mut self,
+        executor: Box<dyn JobExecutor + Send>,
+        calculator: Box<dyn RequestCalculator + Send>,
+        release_step: u64,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = calculator.initial_request();
+        self.slots.push(Slot {
+            id,
+            executor,
+            calculator,
+            release_step,
+            request,
+            completion: None,
+            waste: 0,
+            quanta: 0,
+            trace: Vec::new(),
+        });
+        id
+    }
+
+    /// The current quantum boundary (absolute step).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Quanta executed so far (idle skips do not count).
+    pub fn quanta(&self) -> u64 {
+        self.quanta
+    }
+
+    /// The configured quantum length `L`.
+    pub fn quantum_len(&self) -> u64 {
+        self.quantum_len
+    }
+
+    /// Jobs currently in the system (released or pending release).
+    pub fn jobs_in_system(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether any in-system job is live at the current boundary.
+    pub fn any_live(&self) -> bool {
+        self.slots.iter().any(|s| s.release_step <= self.now)
+    }
+
+    /// Earliest release step among in-system jobs, if any.
+    pub fn next_release(&self) -> Option<u64> {
+        self.slots.iter().map(|s| s.release_step).min()
+    }
+
+    /// Advances the clock over an idle machine: jumps to the first
+    /// quantum boundary at or after `release` that is strictly after the
+    /// current boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if a job is already live — skipping over runnable
+    /// work would corrupt the schedule.
+    pub fn skip_idle_until(&mut self, release: u64) {
+        debug_assert!(!self.any_live(), "skip_idle_until with live jobs");
+        let l = self.quantum_len;
+        self.now = release.div_ceil(l).max(self.now / l + 1) * l;
+    }
+
+    /// Runs one quantum at the current boundary over every live job:
+    /// gathers requests, allocates, steps each job's task scheduler, and
+    /// feeds the measured statistics back through its request
+    /// calculator. Jobs that completed during the quantum are drained
+    /// into `completed` in admission order; the clock advances one
+    /// quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no job is live — callers decide how to skip idle time
+    /// (see [`skip_idle_until`](QuantumEngine::skip_idle_until)).
+    pub fn step_quantum(&mut self, completed: &mut Vec<CompletedJob>) {
+        let l = self.quantum_len;
+        let now = self.now;
+        self.live.clear();
+        self.live.extend(
+            self.slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.release_step <= now)
+                .map(|(i, _)| i),
+        );
+        assert!(
+            !self.live.is_empty(),
+            "step_quantum with no live jobs (use skip_idle_until)"
+        );
+        self.requests.clear();
+        for k in 0..self.live.len() {
+            let i = self.live[k];
+            self.requests.push(self.slots[i].request);
+        }
+        self.allocator
+            .allocate_into(&self.requests, &mut self.allotments);
+        debug_assert_eq!(self.allotments.len(), self.live.len());
+        let mut finished = 0usize;
+        for k in 0..self.live.len() {
+            let i = self.live[k];
+            let allotment = self.allotments[k];
+            let job = &mut self.slots[i];
+            let stats = job.executor.run_quantum(allotment, l);
+            job.quanta += 1;
+            job.waste += stats.waste();
+            if stats.completed {
+                job.completion = Some(now + stats.steps_worked);
+                finished += 1;
+            }
+            if self.record_traces {
+                job.trace.push(QuantumRecord {
+                    index: job.quanta as u32,
+                    start_step: now,
+                    request: job.request,
+                    allotment,
+                    availability: None,
+                    stats,
+                });
+            }
+            job.request = job.calculator.observe(&stats);
+        }
+        if finished > 0 {
+            // Selective drain preserving admission order (allocation
+            // order — and with it DEQ's rotating tie-break state — must
+            // not depend on who finished).
+            self.retained.clear();
+            for slot in self.slots.drain(..) {
+                match slot.completion {
+                    Some(step) => completed.push(CompletedJob {
+                        id: slot.id,
+                        release: slot.release_step,
+                        completion: step,
+                        work: slot.executor.total_work(),
+                        span: slot.executor.total_span(),
+                        waste: slot.waste,
+                        quanta: slot.quanta,
+                        trace: slot.trace,
+                    }),
+                    None => self.retained.push(slot),
+                }
+            }
+            std::mem::swap(&mut self.slots, &mut self.retained);
+        }
+        self.now = now + l;
+        self.quanta += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abg_alloc::DynamicEquiPartition;
+    use abg_control::ConstantRequest;
+    use abg_dag::LeveledJob;
+    use abg_sched::LeveledExecutor;
+
+    fn boxed_job(width: u64, levels: u64) -> Box<dyn JobExecutor + Send> {
+        Box::new(LeveledExecutor::new(LeveledJob::constant(width, levels)))
+    }
+
+    #[test]
+    fn mid_run_admission_joins_next_boundary() {
+        let mut engine = QuantumEngine::new(DynamicEquiPartition::new(8), 10);
+        engine.admit(boxed_job(2, 40), Box::new(ConstantRequest::new(2.0)), 0);
+        let mut done = Vec::new();
+        engine.step_quantum(&mut done); // [0, 10)
+        assert_eq!(engine.now(), 10);
+        // Admitted at step 10: live from the very next quantum.
+        engine.admit(boxed_job(2, 20), Box::new(ConstantRequest::new(2.0)), 10);
+        while engine.jobs_in_system() > 0 {
+            engine.step_quantum(&mut done);
+        }
+        done.sort_by_key(|c| c.id);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].completion, 40);
+        assert_eq!(done[1].completion, 30);
+        assert_eq!(done[1].response_time(), 20);
+    }
+
+    #[test]
+    fn completed_jobs_are_drained_not_retained() {
+        let mut engine = QuantumEngine::new(DynamicEquiPartition::new(4), 5);
+        for i in 0..3 {
+            engine.admit(
+                boxed_job(1, 5 * (i + 1)),
+                Box::new(ConstantRequest::new(1.0)),
+                0,
+            );
+        }
+        let mut done = Vec::new();
+        engine.step_quantum(&mut done);
+        assert_eq!(done.len(), 1, "shortest job drains after one quantum");
+        assert_eq!(engine.jobs_in_system(), 2);
+        engine.step_quantum(&mut done);
+        engine.step_quantum(&mut done);
+        assert_eq!(engine.jobs_in_system(), 0);
+        assert_eq!(done.len(), 3);
+        // Admission ids survive the drains.
+        let ids: Vec<u64> = done.iter().map(|c| c.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn skip_idle_until_lands_on_boundary_after_now() {
+        let mut engine =
+            QuantumEngine::<DynamicEquiPartition>::new(DynamicEquiPartition::new(4), 10);
+        engine.skip_idle_until(34);
+        assert_eq!(engine.now(), 40);
+        // Already past: still advances at least one quantum.
+        engine.skip_idle_until(5);
+        assert_eq!(engine.now(), 50);
+        assert_eq!(engine.quanta(), 0, "idle skips execute no quanta");
+    }
+
+    #[test]
+    #[should_panic(expected = "no live jobs")]
+    fn stepping_an_idle_machine_panics() {
+        let mut engine = QuantumEngine::new(DynamicEquiPartition::new(4), 10);
+        engine.admit(boxed_job(1, 5), Box::new(ConstantRequest::new(1.0)), 100);
+        engine.step_quantum(&mut Vec::new());
+    }
+}

@@ -15,6 +15,12 @@
 //!   shared allocator such as DEQ (Figure 6), with release times and
 //!   global metrics (makespan, mean response time).
 //!
+//! The per-quantum stepping loop behind [`MultiJobSim`] lives in
+//! [`engine::QuantumEngine`], a reusable core that admits jobs at any
+//! time and drains them as they complete — the open-system
+//! (sustained-arrival) driver in `abg-queue` runs indefinitely on the
+//! same loop.
+//!
 //! [`trim`] implements the paper's trim analysis (Section 6.1),
 //! [`metrics`] the derived per-run measurements, and [`adaptive`] the
 //! quantum-length policies of the paper's future-work section (plus the
@@ -24,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod engine;
 pub mod metrics;
 pub mod multi;
 pub mod single;
@@ -31,6 +38,7 @@ pub mod trace;
 pub mod trim;
 
 pub use adaptive::{run_single_job_adaptive, AdaptiveQuantum, FixedQuantum, QuantumPolicy};
+pub use engine::{CompletedJob, QuantumEngine};
 pub use metrics::{JobMetrics, QuantumClass};
 pub use multi::{JobOutcome, MultiJobOutcome, MultiJobSim};
 pub use single::{run_single_job, SingleJobConfig, SingleJobRun};

@@ -1,21 +1,17 @@
 //! Multi-job simulation: a job set space-sharing the machine.
 
+use crate::engine::{CompletedJob, QuantumEngine};
 use crate::trace::QuantumRecord;
 use abg_alloc::Allocator;
 use abg_control::RequestCalculator;
 use abg_sched::JobExecutor;
 use serde::{Deserialize, Serialize};
 
-/// One job's slot in the multiprogrammed simulator.
-struct JobSlot {
+/// One job waiting to be admitted into the engine when `run` starts.
+struct PendingJob {
     executor: Box<dyn JobExecutor + Send>,
     calculator: Box<dyn RequestCalculator + Send>,
     release_step: u64,
-    request: f64,
-    completion: Option<u64>,
-    waste: u64,
-    quanta: u64,
-    trace: Vec<QuantumRecord>,
 }
 
 /// Final per-job measurements of a multiprogrammed run.
@@ -61,6 +57,10 @@ pub struct MultiJobOutcome {
 
 impl MultiJobOutcome {
     /// Mean response time `R` over the job set.
+    ///
+    /// An empty job set has no responses to average; the mean is defined
+    /// as `0.0` (never `NaN`), so downstream ratios and fingerprints stay
+    /// finite.
     pub fn mean_response_time(&self) -> f64 {
         if self.jobs.is_empty() {
             return 0.0;
@@ -87,6 +87,11 @@ impl MultiJobOutcome {
 /// mid-quantum holds its allotment until the boundary (counted as
 /// waste), which matches the paper's accounting.
 ///
+/// This is the *closed-system* shell over the reusable
+/// [`QuantumEngine`]: the whole job set is admitted up front and the
+/// machine runs until it drains. The open-system (sustained-arrival)
+/// driver in `abg-queue` shares the same engine.
+///
 /// ```
 /// use abg_alloc::DynamicEquiPartition;
 /// use abg_control::AControl;
@@ -109,7 +114,7 @@ impl MultiJobOutcome {
 pub struct MultiJobSim<A: Allocator> {
     allocator: A,
     quantum_len: u64,
-    jobs: Vec<JobSlot>,
+    jobs: Vec<PendingJob>,
     /// Abort threshold (quanta); guards misconfigured livelocks.
     max_quanta: u64,
     record_traces: bool,
@@ -154,16 +159,10 @@ impl<A: Allocator> MultiJobSim<A> {
         calculator: Box<dyn RequestCalculator + Send>,
         release_step: u64,
     ) {
-        let request = calculator.initial_request();
-        self.jobs.push(JobSlot {
+        self.jobs.push(PendingJob {
             executor,
             calculator,
             release_step,
-            request,
-            completion: None,
-            waste: 0,
-            quanta: 0,
-            trace: Vec::new(),
         });
     }
 
@@ -177,87 +176,53 @@ impl<A: Allocator> MultiJobSim<A> {
     /// # Panics
     ///
     /// Panics if no jobs were added, or the `max_quanta` guard trips.
-    pub fn run(mut self) -> MultiJobOutcome {
+    pub fn run(self) -> MultiJobOutcome {
         assert!(!self.jobs.is_empty(), "no jobs to simulate");
-        let l = self.quantum_len;
-        let mut now = 0u64;
-        let mut quanta = 0u64;
-        let mut live: Vec<usize> = Vec::new();
-        let mut requests: Vec<f64> = Vec::new();
-        // Reused across quanta: with tracing off, the steady-state
-        // quantum loop performs zero heap allocation.
-        let mut allotments: Vec<u32> = Vec::new();
+        let mut engine = QuantumEngine::new(self.allocator, self.quantum_len);
+        if self.record_traces {
+            engine = engine.with_traces();
+        }
+        for job in self.jobs {
+            engine.admit(job.executor, job.calculator, job.release_step);
+        }
 
-        while self.jobs.iter().any(|j| j.completion.is_none()) {
+        let mut done: Vec<CompletedJob> = Vec::new();
+        while engine.jobs_in_system() > 0 {
             assert!(
-                quanta < self.max_quanta,
+                engine.quanta() < self.max_quanta,
                 "job set did not finish within {} quanta (livelock?)",
                 self.max_quanta
             );
-            live.clear();
-            live.extend(
-                self.jobs
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, j)| j.completion.is_none() && j.release_step <= now)
-                    .map(|(i, _)| i),
-            );
-            if live.is_empty() {
+            if !engine.any_live() {
                 // Machine idle: jump to the first quantum boundary at or
                 // after the earliest pending release.
-                let next_release = self
-                    .jobs
-                    .iter()
-                    .filter(|j| j.completion.is_none())
-                    .map(|j| j.release_step)
-                    .min()
-                    .expect("loop guard ensures an incomplete job exists");
-                now = next_release.div_ceil(l).max(now / l + 1) * l;
+                let next_release = engine
+                    .next_release()
+                    .expect("loop guard ensures an in-system job exists");
+                engine.skip_idle_until(next_release);
                 continue;
             }
-            requests.clear();
-            requests.extend(live.iter().map(|&i| self.jobs[i].request));
-            self.allocator.allocate_into(&requests, &mut allotments);
-            debug_assert_eq!(allotments.len(), live.len());
-            for (slot, &i) in live.iter().enumerate() {
-                let job = &mut self.jobs[i];
-                let stats = job.executor.run_quantum(allotments[slot], l);
-                job.quanta += 1;
-                job.waste += stats.waste();
-                if stats.completed {
-                    job.completion = Some(now + stats.steps_worked);
-                }
-                if self.record_traces {
-                    job.trace.push(QuantumRecord {
-                        index: job.quanta as u32,
-                        start_step: now,
-                        request: job.request,
-                        allotment: allotments[slot],
-                        availability: None,
-                        stats,
-                    });
-                }
-                job.request = job.calculator.observe(&stats);
-            }
-            now += l;
-            quanta += 1;
+            engine.step_quantum(&mut done);
         }
+        let quanta = engine.quanta();
 
-        let jobs: Vec<JobOutcome> = self
-            .jobs
+        // The engine drains jobs in completion order; the outcome
+        // promises submission order.
+        done.sort_by_key(|c| c.id);
+        let jobs: Vec<JobOutcome> = done
             .iter()
-            .map(|j| JobOutcome {
-                release: j.release_step,
-                completion: j.completion.expect("loop exits only when all complete"),
-                work: j.executor.total_work(),
-                span: j.executor.total_span(),
-                waste: j.waste,
-                quanta: j.quanta,
+            .map(|c| JobOutcome {
+                release: c.release,
+                completion: c.completion,
+                work: c.work,
+                span: c.span,
+                waste: c.waste,
+                quanta: c.quanta,
             })
             .collect();
         let makespan = jobs.iter().map(|j| j.completion).max().unwrap_or(0);
         let total_waste = jobs.iter().map(|j| j.waste).sum();
-        let traces = self.jobs.into_iter().map(|j| j.trace).collect();
+        let traces = done.into_iter().map(|c| c.trace).collect();
         MultiJobOutcome {
             jobs,
             makespan,
@@ -377,6 +342,20 @@ mod tests {
             traces: Vec::new(),
         };
         assert_eq!(out.mean_response_time(), 15.0);
+    }
+
+    #[test]
+    fn empty_job_set_mean_response_is_zero_not_nan() {
+        let out = MultiJobOutcome {
+            jobs: Vec::new(),
+            makespan: 0,
+            total_waste: 0,
+            quanta: 0,
+            traces: Vec::new(),
+        };
+        let mean = out.mean_response_time();
+        assert_eq!(mean, 0.0, "empty set must not average to NaN");
+        assert!(!mean.is_nan());
     }
 
     #[test]

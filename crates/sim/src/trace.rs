@@ -108,4 +108,77 @@ mod tests {
     fn csv_of_empty_trace_is_header_only() {
         assert_eq!(trace_to_csv(&[]).lines().count(), 1);
     }
+
+    /// The exported fields of one record, in column order — what a CSV
+    /// consumer can reconstruct.
+    type CsvFields = (u32, u64, f64, u32, Option<u32>, u64, f64, u64, bool);
+
+    fn exported(r: &QuantumRecord) -> CsvFields {
+        (
+            r.index,
+            r.start_step,
+            r.request,
+            r.allotment,
+            r.availability,
+            r.stats.work,
+            r.stats.span,
+            r.stats.steps_worked,
+            r.stats.completed,
+        )
+    }
+
+    fn parse_line(line: &str) -> CsvFields {
+        let cells: Vec<&str> = line.split(',').collect();
+        assert_eq!(cells.len(), 9, "column count drifted: {line}");
+        (
+            cells[0].parse().unwrap(),
+            cells[1].parse().unwrap(),
+            cells[2].parse().unwrap(),
+            cells[3].parse().unwrap(),
+            (!cells[4].is_empty()).then(|| cells[4].parse().unwrap()),
+            cells[5].parse().unwrap(),
+            cells[6].parse().unwrap(),
+            cells[7].parse().unwrap(),
+            cells[8].parse().unwrap(),
+        )
+    }
+
+    #[test]
+    fn csv_round_trips_every_exported_field() {
+        let mut with_availability = record(6.5, 6);
+        with_availability.availability = Some(12);
+        with_availability.index = 7;
+        with_availability.start_step = 640;
+        with_availability.stats.span = 2.25; // dyadic: exact through {}
+        with_availability.stats.completed = true;
+        let records = [record(5.0, 4), with_availability, record(0.0, 0)];
+
+        let csv = trace_to_csv(&records);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), 9, "header/field count drifted");
+        let parsed: Vec<CsvFields> = lines.map(parse_line).collect();
+        assert_eq!(parsed.len(), records.len());
+        for (got, want) in parsed.iter().zip(records.iter().map(exported)) {
+            assert_eq!(*got, want);
+        }
+    }
+
+    #[test]
+    fn deprivation_boundary_cases() {
+        // Exactly the requested grant: satisfied, not deprived.
+        assert!(record(4.0, 4).satisfied());
+        // One processor short of an integral request: deprived.
+        assert!(record(4.0, 3).deprived());
+        // Any fractional request above the grant is deprivation...
+        assert!(record(4.000001, 4).deprived());
+        // ...while the integral grant covering the fraction satisfies.
+        assert!(record(3.999999, 4).satisfied());
+        // A zero request can never be deprived, even by a zero grant.
+        assert!(record(0.0, 0).satisfied());
+        // deprived/satisfied partition every record.
+        for r in [record(4.0, 4), record(4.5, 4), record(0.0, 1)] {
+            assert_ne!(r.deprived(), r.satisfied());
+        }
+    }
 }

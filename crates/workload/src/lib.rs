@@ -45,7 +45,9 @@ pub mod profiles;
 pub mod release;
 
 pub use jobset::{JobSet, JobSetSpec};
-pub use release::ReleaseSchedule;
+pub use release::{
+    expected_work, mean_gap_for_utilization, ArrivalProcess, ArrivalStream, ReleaseSchedule,
+};
 
 use abg_dag::{ForkJoinSpec, PhasedJob};
 use rand::{Rng, RngExt as _};

@@ -1,4 +1,12 @@
-//! Release (arrival) schedules for job sets.
+//! Release (arrival) schedules for job sets, and unbounded arrival
+//! processes for open-system simulation.
+//!
+//! [`ReleaseSchedule`] samples release times for a *fixed-size* job set
+//! (the closed-system regimes of the paper's Figure 6).
+//! [`ArrivalProcess`] extends the same idea to a *stationary stream*: an
+//! unbounded sequence of arrival times for sustained-load (open-system)
+//! simulation, plus the arithmetic for solving the inter-arrival gap
+//! that offers a target utilization ρ to the machine.
 
 use rand::{Rng, RngExt as _};
 use serde::{Deserialize, Serialize};
@@ -58,6 +66,148 @@ impl ReleaseSchedule {
     }
 }
 
+/// A stationary inter-arrival process for an *unbounded* job stream —
+/// the open-system counterpart of [`ReleaseSchedule`].
+///
+/// Where a schedule samples `n` release times up front, a process is
+/// turned into an [`ArrivalStream`] that produces one arrival time after
+/// another for as long as the simulation runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals: exponential inter-arrival gaps with the given
+    /// mean in steps.
+    Poisson {
+        /// Mean inter-arrival time in steps.
+        mean_gap: f64,
+    },
+    /// Trace-driven arrivals: the given inter-arrival gaps (steps),
+    /// replayed cyclically. Zero gaps model batch arrivals inside the
+    /// trace; at least one gap must be positive so time advances.
+    Trace {
+        /// Inter-arrival gaps in steps, cycled indefinitely.
+        gaps: Vec<u64>,
+    },
+}
+
+impl ArrivalProcess {
+    /// Starts a fresh stream of this process from time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Poisson` process has a non-positive or non-finite
+    /// mean gap, or a `Trace` process has no gaps or only zero gaps.
+    pub fn stream(&self) -> ArrivalStream {
+        match self {
+            ArrivalProcess::Poisson { mean_gap } => {
+                assert!(
+                    mean_gap.is_finite() && *mean_gap > 0.0,
+                    "mean inter-arrival gap must be positive, got {mean_gap}"
+                );
+            }
+            ArrivalProcess::Trace { gaps } => {
+                assert!(!gaps.is_empty(), "arrival trace must contain gaps");
+                assert!(
+                    gaps.iter().any(|&g| g > 0),
+                    "arrival trace needs at least one positive gap so time advances"
+                );
+            }
+        }
+        ArrivalStream {
+            process: self.clone(),
+            clock: 0.0,
+            index: 0,
+        }
+    }
+
+    /// The mean inter-arrival gap of the process in steps (trace
+    /// processes average over one cycle).
+    pub fn mean_gap(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { mean_gap } => *mean_gap,
+            ArrivalProcess::Trace { gaps } => gaps.iter().sum::<u64>() as f64 / gaps.len() as f64,
+        }
+    }
+}
+
+/// An unbounded, stateful stream of arrival times drawn from an
+/// [`ArrivalProcess`]. Arrival times are non-decreasing absolute steps.
+#[derive(Debug, Clone)]
+pub struct ArrivalStream {
+    process: ArrivalProcess,
+    clock: f64,
+    index: usize,
+}
+
+impl ArrivalStream {
+    /// Produces the next arrival time (absolute step).
+    pub fn next_arrival<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        match &self.process {
+            ArrivalProcess::Poisson { mean_gap } => {
+                // Inverse-CDF exponential sampling; the `1 - u` guard
+                // keeps ln() finite (same recipe as ReleaseSchedule).
+                let u: f64 = rng.random();
+                self.clock += -mean_gap * (1.0 - u).ln();
+                self.clock as u64
+            }
+            ArrivalProcess::Trace { gaps } => {
+                let gap = gaps[self.index % gaps.len()];
+                self.index += 1;
+                self.clock += gap as f64;
+                self.clock as u64
+            }
+        }
+    }
+}
+
+/// Monte-Carlo estimate of the expected work `E[T1]` of a job
+/// population, from `samples` draws of the generator.
+///
+/// Open-system load sweeps size their arrival rate from this estimate
+/// (see [`mean_gap_for_utilization`]); using a fixed seed makes the
+/// estimate — and with it the whole sweep — deterministic.
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+pub fn expected_work<R, F>(samples: u32, rng: &mut R, mut generate: F) -> f64
+where
+    R: Rng + ?Sized,
+    F: FnMut(&mut R) -> abg_dag::PhasedJob,
+{
+    assert!(samples > 0, "need at least one sample to estimate work");
+    (0..samples)
+        .map(|_| generate(rng).work() as f64)
+        .sum::<f64>()
+        / samples as f64
+}
+
+/// Solves the mean inter-arrival gap (steps) that offers utilization
+/// `rho` to a machine of `processors`, given the class's expected work
+/// per job.
+///
+/// The offered load of a stream with mean gap `g` is
+/// `ρ = E[T1] / (g · P)` — work arriving per step over machine capacity
+/// — so `g = E[T1] / (ρ · P)`. `ρ ≥ 1` is a valid input: the resulting
+/// stream *over*-loads the machine, which is exactly what the
+/// saturation-detection tests drive.
+///
+/// # Panics
+///
+/// Panics if `rho` or `expected_work` is non-positive/non-finite, or
+/// `processors == 0`.
+pub fn mean_gap_for_utilization(rho: f64, processors: u32, expected_work: f64) -> f64 {
+    assert!(
+        rho.is_finite() && rho > 0.0,
+        "target utilization must be positive, got {rho}"
+    );
+    assert!(processors > 0, "machine must have processors");
+    assert!(
+        expected_work.is_finite() && expected_work > 0.0,
+        "expected work must be positive, got {expected_work}"
+    );
+    expected_work / (rho * processors as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +248,81 @@ mod tests {
     fn poisson_rejects_zero_gap() {
         let mut rng = StdRng::seed_from_u64(5);
         let _ = ReleaseSchedule::Poisson { mean_gap: 0.0 }.sample(1, &mut rng);
+    }
+
+    #[test]
+    fn poisson_stream_is_nondecreasing_with_sane_mean() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut stream = ArrivalProcess::Poisson { mean_gap: 40.0 }.stream();
+        let times: Vec<u64> = (0..400).map(|_| stream.next_arrival(&mut rng)).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        let mean = *times.last().unwrap() as f64 / times.len() as f64;
+        assert!((20.0..80.0).contains(&mean), "mean gap {mean}");
+    }
+
+    #[test]
+    fn trace_stream_cycles_its_gaps() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut stream = ArrivalProcess::Trace {
+            gaps: vec![5, 0, 10],
+        }
+        .stream();
+        let times: Vec<u64> = (0..6).map(|_| stream.next_arrival(&mut rng)).collect();
+        // Gaps 5, 0, 10 cycle: 5, 5, 15, 20, 20, 30.
+        assert_eq!(times, vec![5, 5, 15, 20, 20, 30]);
+    }
+
+    #[test]
+    fn trace_mean_gap_averages_one_cycle() {
+        let p = ArrivalProcess::Trace {
+            gaps: vec![5, 0, 10],
+        };
+        assert_eq!(p.mean_gap(), 5.0);
+        assert_eq!(ArrivalProcess::Poisson { mean_gap: 7.5 }.mean_gap(), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive gap")]
+    fn all_zero_trace_rejected() {
+        let _ = ArrivalProcess::Trace { gaps: vec![0, 0] }.stream();
+    }
+
+    #[test]
+    #[should_panic(expected = "must contain gaps")]
+    fn empty_trace_rejected() {
+        let _ = ArrivalProcess::Trace { gaps: vec![] }.stream();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn poisson_stream_rejects_zero_gap() {
+        let _ = ArrivalProcess::Poisson { mean_gap: 0.0 }.stream();
+    }
+
+    #[test]
+    fn expected_work_matches_constant_population() {
+        use abg_dag::{Phase, PhasedJob};
+        let mut rng = StdRng::seed_from_u64(8);
+        let w = expected_work(16, &mut rng, |_| PhasedJob::new(vec![Phase::new(2, 10)]));
+        assert_eq!(w, 20.0, "constant jobs estimate exactly");
+    }
+
+    #[test]
+    fn gap_solver_inverts_the_offered_load() {
+        // ρ = E[T1] / (g · P): solving for g and recomputing ρ round-trips.
+        let g = mean_gap_for_utilization(0.5, 64, 3200.0);
+        assert_eq!(g, 100.0);
+        let rho = 3200.0 / (g * 64.0);
+        assert!((rho - 0.5).abs() < 1e-12);
+        // Heavier load arrives faster.
+        assert!(mean_gap_for_utilization(0.9, 64, 3200.0) < g);
+        // ρ ≥ 1 is allowed: saturation experiments need it.
+        assert!(mean_gap_for_utilization(1.5, 64, 3200.0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization must be positive")]
+    fn gap_solver_rejects_zero_rho() {
+        let _ = mean_gap_for_utilization(0.0, 64, 100.0);
     }
 }
