@@ -105,6 +105,66 @@ fn bench_chain_kernels(c: &mut Criterion) {
     g.finish();
 }
 
+/// The CLI's fork-join kernels under Criterion: the wide-frontier bulk
+/// kernel against the per-step reference on the same dags. The tree is
+/// the bulk path's best case (a frontier that doubles every level, all
+/// structural fast-path conditions met); the bundle is the steady
+/// saturated regime (constant width, join nodes keep the in-degree
+/// table live).
+fn bench_forkjoin_kernels(c: &mut Criterion) {
+    let cfg = KernelBenchConfig::full();
+    let tree = generate::binary_fork_tree(cfg.tree_depth);
+    let bundle = generate::chain_bundle(cfg.bundle_width, cfg.bundle_levels);
+    let bundle_a = cfg.bundle_width;
+
+    let mut g = c.benchmark_group("forkjoin_kernel");
+    g.sample_size(10);
+
+    g.throughput(Throughput::Elements(tree.work()));
+    g.bench_function("tree_bulk", |b| {
+        let mut ex = BGreedyExecutor::new(&tree);
+        b.iter(|| {
+            ex.reset();
+            while !ex.is_complete() {
+                black_box(ex.run_quantum(32, 100));
+            }
+            ex.completed_work()
+        })
+    });
+    g.bench_function("tree_reference", |b| {
+        b.iter(|| {
+            let mut ex = ReferenceBGreedyExecutor::new(black_box(&tree));
+            while !ex.is_complete() {
+                black_box(ex.run_quantum(32, 100));
+            }
+            ex.completed_work()
+        })
+    });
+
+    g.throughput(Throughput::Elements(bundle.work()));
+    g.bench_function("bundle_bulk", |b| {
+        let mut ex = BGreedyExecutor::new(&bundle);
+        b.iter(|| {
+            ex.reset();
+            while !ex.is_complete() {
+                black_box(ex.run_quantum(bundle_a, 100));
+            }
+            ex.completed_work()
+        })
+    });
+    g.bench_function("bundle_reference", |b| {
+        b.iter(|| {
+            let mut ex = ReferenceBGreedyExecutor::new(black_box(&bundle));
+            while !ex.is_complete() {
+                black_box(ex.run_quantum(bundle_a, 100));
+            }
+            ex.completed_work()
+        })
+    });
+
+    g.finish();
+}
+
 /// Quantum fast-forward cost as the number of phases grows.
 fn bench_pipelined_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipelined_quantum");
@@ -158,6 +218,7 @@ criterion_group!(
     benches,
     bench_executors,
     bench_chain_kernels,
+    bench_forkjoin_kernels,
     bench_pipelined_scaling,
     bench_queues
 );

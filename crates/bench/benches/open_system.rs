@@ -43,7 +43,14 @@ fn bench_open_system(c: &mut Criterion) {
                 black_box(run_open_system(
                     black_box(&cfg),
                     DynamicEquiPartition::new(cfg.processors),
-                    |_rng| Box::new(PipelinedExecutor::new(Arc::clone(&job))),
+                    |_rng, recycled| {
+                        if let Some(mut ex) = recycled {
+                            if ex.try_reset() {
+                                return ex;
+                            }
+                        }
+                        Box::new(PipelinedExecutor::new(Arc::clone(&job)))
+                    },
                     || Box::new(AControl::new(0.2)),
                 ))
             })

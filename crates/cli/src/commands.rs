@@ -648,30 +648,43 @@ fn baseline_steps_per_sec(json: &str, kernel: &str) -> Option<f64> {
     val.trim().trim_end_matches(',').trim().parse().ok()
 }
 
-/// The `--check` regression gate: the fresh `chain_macro` throughput
-/// must stay above 70% of the committed baseline. The hot-loop kernels
-/// are stable well within that band on an otherwise idle machine, so a
+/// Kernels the `--check` regression gate covers: the hot-loop kernels
+/// whose throughput exercises each simulation regime — the serial
+/// macro-stepping chain, the wide-frontier bulk paths (tree and
+/// bundle), and the open-system driver with executor recycling. All are
+/// stable well within the 30% band on an otherwise idle machine, so a
 /// trip means a real regression, not noise.
+const GATED_KERNELS: [&str; 4] = [
+    "chain_macro",
+    "forkjoin_tree",
+    "forkjoin_bundle",
+    "open_system",
+];
+
+/// The `--check` regression gate: every gated kernel's fresh throughput
+/// must stay above 70% of the committed baseline.
 fn bench_check(path: &str, results: &[abg::experiments::KernelResult]) -> Result<(), String> {
     let baseline =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
-    let base = baseline_steps_per_sec(&baseline, "chain_macro")
-        .ok_or_else(|| format!("no chain_macro steps_per_sec in {path}"))?;
-    let cur = results
-        .iter()
-        .find(|r| r.kernel == "chain_macro")
-        .map(|r| r.steps_per_sec)
-        .ok_or("suite did not run chain_macro")?;
-    let floor = base * 0.7;
-    if cur < floor {
-        return Err(format!(
-            "chain_macro regression: {cur:.0} steps/s is below 70% of baseline {base:.0} \
-             (floor {floor:.0}, from {path})"
-        ));
+    for kernel in GATED_KERNELS {
+        let base = baseline_steps_per_sec(&baseline, kernel)
+            .ok_or_else(|| format!("no {kernel} steps_per_sec in {path}"))?;
+        let cur = results
+            .iter()
+            .find(|r| r.kernel == kernel)
+            .map(|r| r.steps_per_sec)
+            .ok_or_else(|| format!("suite did not run {kernel}"))?;
+        let floor = base * 0.7;
+        if cur < floor {
+            return Err(format!(
+                "{kernel} regression: {cur:.0} steps/s is below 70% of baseline {base:.0} \
+                 (floor {floor:.0}, from {path})"
+            ));
+        }
+        println!(
+            "bench check ok: {kernel} {cur:.0} steps/s vs baseline {base:.0} (floor {floor:.0})"
+        );
     }
-    println!(
-        "bench check ok: chain_macro {cur:.0} steps/s vs baseline {base:.0} (floor {floor:.0})"
-    );
     Ok(())
 }
 
@@ -883,9 +896,10 @@ fn all(opts: &Options) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use abg::experiments::KernelResult;
 
-    fn fake_result(kernel: &str, steps_per_sec: f64) -> abg::experiments::KernelResult {
-        abg::experiments::KernelResult {
+    fn fake_result(kernel: &str, steps_per_sec: f64) -> KernelResult {
+        KernelResult {
             kernel: kernel.to_string(),
             iters: 1,
             ops: 100,
@@ -909,10 +923,26 @@ mod tests {
         assert!(baseline_steps_per_sec(&json, "no_such_kernel").is_none());
     }
 
+    /// A full result set for every gated kernel at the given fraction of
+    /// a 1000 steps/s baseline, except `slow_kernel` (if any), which
+    /// runs at `slow_frac`.
+    fn gated_results(frac: f64, slow_kernel: Option<(&str, f64)>) -> Vec<KernelResult> {
+        GATED_KERNELS
+            .iter()
+            .map(|&k| {
+                let f = match slow_kernel {
+                    Some((s, sf)) if s == k => sf,
+                    _ => frac,
+                };
+                fake_result(k, 1000.0 * f)
+            })
+            .collect()
+    }
+
     #[test]
     fn bench_check_trips_only_below_the_floor() {
         let cfg = abg::experiments::KernelBenchConfig::smoke();
-        let baseline = vec![fake_result("chain_macro", 1000.0)];
+        let baseline = gated_results(1.0, None);
         let dir = std::env::temp_dir().join("abg_bench_check_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("baseline.json");
@@ -920,11 +950,24 @@ mod tests {
         let path = path.to_str().unwrap();
 
         // At 71% of baseline: passes. At 69%: trips.
-        assert!(bench_check(path, &[fake_result("chain_macro", 710.0)]).is_ok());
-        let err = bench_check(path, &[fake_result("chain_macro", 690.0)]).unwrap_err();
+        assert!(bench_check(path, &gated_results(0.71, None)).is_ok());
+        let err = bench_check(path, &gated_results(0.69, None)).unwrap_err();
         assert!(err.contains("regression"), "{err}");
+        // Every gated kernel trips the gate individually, even with the
+        // others comfortably above the floor.
+        for kernel in GATED_KERNELS {
+            let err = bench_check(path, &gated_results(1.0, Some((kernel, 0.69)))).unwrap_err();
+            assert!(
+                err.contains(kernel) && err.contains("regression"),
+                "{kernel}: {err}"
+            );
+        }
         // Missing baseline file or kernel is an error, not a silent pass.
         assert!(bench_check("/no/such/file.json", &baseline).is_err());
         assert!(bench_check(path, &[fake_result("other", 1.0)]).is_err());
+        let mut missing = gated_results(1.0, None);
+        missing.retain(|r| r.kernel != "open_system");
+        let err = bench_check(path, &missing).unwrap_err();
+        assert!(err.contains("did not run open_system"), "{err}");
     }
 }

@@ -71,46 +71,47 @@ pub struct AdaptiveQuantumRow {
 /// Compares `fixed(short)`, `fixed(long)` and `adaptive(short..long)`
 /// quantum policies under ABG on the same jobs.
 pub fn adaptive_quantum_comparison(cfg: &AdaptiveQuantumConfig) -> Vec<AdaptiveQuantumRow> {
-    let units: Vec<(u64, u64, u8)> = cfg
+    let units: Vec<(u64, u64)> = cfg
         .factors
         .iter()
-        .flat_map(|&f| {
-            (0..cfg.jobs_per_factor as u64).flat_map(move |j| (0..3u8).map(move |p| (f, j, p)))
-        })
+        .flat_map(|&f| (0..cfg.jobs_per_factor as u64).map(move |j| (f, j)))
         .collect();
-    let results = parallel_map(units, |&(factor, index, policy)| {
+    // One unit per generated job: all three policies run over the same
+    // job through one executor, rewound between policies, so the job is
+    // generated once instead of once per policy and nothing is
+    // re-allocated. The run set (and every aggregate) is identical to
+    // running each policy in its own unit.
+    let results = parallel_map(units, |&(factor, index)| {
         let mut rng = StdRng::seed_from_u64(task_seed(cfg.seed, factor, index));
         // Phase geometry follows the *long* quantum so even the longest
         // policy sees phases spanning full quanta.
         let job = paper_job(factor, cfg.long_quantum, cfg.pairs, &mut rng);
         let mut ex = PipelinedExecutor::new(job);
-        let mut ctl = AControl::new(cfg.rate);
-        let mut alloc = Scripted::ample(cfg.processors);
         let sim = SingleJobConfig::new(cfg.short_quantum);
-        let (run, reallocations) = match policy {
-            0 => run_single_job_adaptive(
-                &mut ex,
-                &mut ctl,
-                &mut alloc,
-                &mut FixedQuantum(cfg.short_quantum),
-                sim,
-            ),
-            1 => run_single_job_adaptive(
-                &mut ex,
-                &mut ctl,
-                &mut alloc,
-                &mut FixedQuantum(cfg.long_quantum),
-                sim,
-            ),
-            _ => run_single_job_adaptive(
-                &mut ex,
-                &mut ctl,
-                &mut alloc,
-                &mut AdaptiveQuantum::new(cfg.short_quantum, cfg.long_quantum, cfg.stability_band),
-                sim,
-            ),
-        };
-        (policy, (run, reallocations))
+        let short = run_single_job_adaptive(
+            &mut ex,
+            &mut AControl::new(cfg.rate),
+            &mut Scripted::ample(cfg.processors),
+            &mut FixedQuantum(cfg.short_quantum),
+            sim,
+        );
+        ex.reset();
+        let long = run_single_job_adaptive(
+            &mut ex,
+            &mut AControl::new(cfg.rate),
+            &mut Scripted::ample(cfg.processors),
+            &mut FixedQuantum(cfg.long_quantum),
+            sim,
+        );
+        ex.reset();
+        let adaptive = run_single_job_adaptive(
+            &mut ex,
+            &mut AControl::new(cfg.rate),
+            &mut Scripted::ample(cfg.processors),
+            &mut AdaptiveQuantum::new(cfg.short_quantum, cfg.long_quantum, cfg.stability_band),
+            sim,
+        );
+        [short, long, adaptive]
     });
 
     let names = [
@@ -118,16 +119,12 @@ pub fn adaptive_quantum_comparison(cfg: &AdaptiveQuantumConfig) -> Vec<AdaptiveQ
         format!("fixed L = {}", cfg.long_quantum),
         format!("adaptive L ∈ [{}, {}]", cfg.short_quantum, cfg.long_quantum),
     ];
-    (0..3u8)
+    (0..3usize)
         .map(|p| {
-            let rows: Vec<_> = results
-                .iter()
-                .filter(|(q, _)| *q == p)
-                .map(|(_, r)| r)
-                .collect();
+            let rows: Vec<_> = results.iter().map(|per_job| &per_job[p]).collect();
             let n = rows.len() as f64;
             AdaptiveQuantumRow {
-                policy: names[p as usize].clone(),
+                policy: names[p].clone(),
                 time_norm: rows.iter().map(|(r, _)| r.time_over_span()).sum::<f64>() / n,
                 waste_norm: rows.iter().map(|(r, _)| r.waste_over_work()).sum::<f64>() / n,
                 mean_quanta: rows.iter().map(|(r, _)| r.quanta as f64).sum::<f64>() / n,

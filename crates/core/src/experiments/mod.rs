@@ -39,7 +39,9 @@ pub use open_system::{
 };
 pub use overhead::{overhead_sweep, OverheadConfig, OverheadRow};
 pub use robustness::{robustness_comparison, RobustnessConfig, RobustnessRow};
-pub use single_job::{single_job_sweep, SingleJobSweepConfig, SweepPoint};
+pub use single_job::{
+    single_job_sweep, single_job_sweep_with_steps, SingleJobSweepConfig, SweepPoint,
+};
 pub use stealing::{stealing_comparison, StealRow, StealingConfig};
 pub use theory::{
     lemma2_check, theorem1_grid, theorem3_check, theorem4_check, theorem5_check, BoundCheck,

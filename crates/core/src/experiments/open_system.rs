@@ -204,7 +204,12 @@ fn run_point(cfg: &OpenSystemConfig, mean_gap: f64, index: u64, which: Scheduler
         seed: task_seed(cfg.seed, index, 1),
     };
     let (max_factor, quantum_len, pairs) = (cfg.max_factor, cfg.quantum_len, cfg.pairs);
-    let make_executor = move |rng: &mut StdRng| -> Box<dyn JobExecutor + Send> {
+    // Jobs here are heterogeneous (each arrival samples a fresh phase
+    // structure), so recycled executors are dropped rather than reset —
+    // the sweep fingerprints stay pinned to the fresh-build behaviour.
+    let make_executor = move |rng: &mut StdRng,
+                              _recycled: Option<Box<dyn JobExecutor + Send>>|
+          -> Box<dyn JobExecutor + Send> {
         Box::new(PipelinedExecutor::new(mixed_factor_job(
             max_factor,
             quantum_len,

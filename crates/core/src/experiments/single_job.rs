@@ -123,15 +123,18 @@ fn run_pair(cfg: &SingleJobSweepConfig, factor: u64, index: u64) -> JobPair {
         scaled_job(factor, cfg.quantum_len, cfg.pairs, cfg.scale_down, &mut rng)
     };
     let sim_cfg = SingleJobConfig::new(cfg.quantum_len);
-    // Both runs borrow the same job structure; nothing is cloned per run.
+    // Both runs borrow the same job structure and share one executor,
+    // rewound between them — nothing is cloned or re-allocated per run.
+    let mut ex = PipelinedExecutor::new(&job);
     let abg = run_single_job(
-        &mut PipelinedExecutor::new(&job),
+        &mut ex,
         &mut AControl::new(cfg.rate),
         &mut Scripted::ample(cfg.processors),
         sim_cfg,
     );
+    ex.reset();
     let agreedy = run_single_job(
-        &mut PipelinedExecutor::new(&job),
+        &mut ex,
         &mut AGreedy::new(cfg.responsiveness, cfg.utilization),
         &mut Scripted::ample(cfg.processors),
         sim_cfg,
@@ -148,6 +151,18 @@ fn run_pair(cfg: &SingleJobSweepConfig, factor: u64, index: u64) -> JobPair {
 ///
 /// Panics if the config has no factors or zero jobs per factor.
 pub fn single_job_sweep(cfg: &SingleJobSweepConfig) -> Vec<SweepPoint> {
+    single_job_sweep_with_steps(cfg).0
+}
+
+/// [`single_job_sweep`], additionally returning the total simulated
+/// steps across every run of the sweep (both schedulers, every job) —
+/// the quantity the kernel-benchmark trajectory reports as steps/sec.
+/// Deterministic for a given config, like the points themselves.
+///
+/// # Panics
+///
+/// Panics if the config has no factors or zero jobs per factor.
+pub fn single_job_sweep_with_steps(cfg: &SingleJobSweepConfig) -> (Vec<SweepPoint>, u64) {
     assert!(!cfg.factors.is_empty(), "sweep needs at least one factor");
     assert!(
         cfg.jobs_per_factor > 0,
@@ -161,8 +176,13 @@ pub fn single_job_sweep(cfg: &SingleJobSweepConfig) -> Vec<SweepPoint> {
     let pairs = parallel_map(units, |&(factor, index)| {
         (factor, run_pair(cfg, factor, index))
     });
+    let steps: u64 = pairs
+        .iter()
+        .map(|(_, p)| p.abg.running_time + p.agreedy.running_time)
+        .sum();
 
-    cfg.factors
+    let points = cfg
+        .factors
         .iter()
         .map(|&factor| {
             let runs: Vec<&JobPair> = pairs
@@ -187,7 +207,8 @@ pub fn single_job_sweep(cfg: &SingleJobSweepConfig) -> Vec<SweepPoint> {
                 },
             }
         })
-        .collect()
+        .collect();
+    (points, steps)
 }
 
 #[cfg(test)]
@@ -221,9 +242,11 @@ mod tests {
             jobs_per_factor: 3,
             ..SingleJobSweepConfig::scaled()
         };
-        let a = single_job_sweep(&cfg);
-        let b = single_job_sweep(&cfg);
+        let a = single_job_sweep_with_steps(&cfg);
+        let b = single_job_sweep_with_steps(&cfg);
         assert_eq!(a, b);
+        assert!(a.1 > 0, "the sweep simulates a positive number of steps");
+        assert_eq!(a.0, single_job_sweep(&cfg), "wrapper returns same points");
     }
 
     #[test]

@@ -270,6 +270,22 @@ impl DagBuilder {
             level_sizes[l as usize] += 1;
         }
         let level_recip = level_sizes.iter().map(|&s| 1.0 / s as f64).collect();
+        // The Kahn queue was seeded with exactly the in-degree-zero tasks
+        // in id order — cache that prefix as the source list so executor
+        // construction and reset need no O(V) rescan.
+        let sources = (0..n as u32)
+            .map(TaskId)
+            .filter(|t| self.in_degree[t.index()] == 0)
+            .collect();
+        // Structural flags for the wide-frontier kernel (see
+        // `ExplicitDag::is_forest` / `has_unit_edges`): both are O(V + E)
+        // here and let the executor's saturated bulk step skip per-edge
+        // bookkeeping that the shape makes redundant.
+        let forest = self.in_degree.iter().all(|&d| d <= 1);
+        let unit_edges = self
+            .edges
+            .iter()
+            .all(|&(from, to)| level[to.index()] == level[from.index()] + 1);
         Ok(ExplicitDag {
             succ_off,
             succ_flat,
@@ -277,6 +293,9 @@ impl DagBuilder {
             level,
             level_sizes,
             level_recip,
+            sources,
+            forest,
+            unit_edges,
         })
     }
 }
@@ -306,6 +325,16 @@ pub struct ExplicitDag {
     /// completed task its fractional span contribution without a division
     /// (or a level rescan) on the hot path.
     level_recip: Vec<f64>,
+    /// Tasks with no predecessors, in id order — the initial ready set.
+    /// Cached at build time so executor construction and `reset()` avoid
+    /// an O(V) in-degree rescan per run.
+    sources: Vec<TaskId>,
+    /// Whether every task has at most one predecessor (the precedence
+    /// relation is a forest). Cached for [`ExplicitDag::is_forest`].
+    forest: bool,
+    /// Whether every edge drops exactly one level. Cached for
+    /// [`ExplicitDag::has_unit_edges`].
+    unit_edges: bool,
 }
 
 impl ExplicitDag {
@@ -337,6 +366,25 @@ impl ExplicitDag {
     #[inline]
     pub fn in_degree(&self, t: TaskId) -> u32 {
         self.in_degree[t.index()]
+    }
+
+    /// The full in-degree table, indexed by task id. Executors seed (and
+    /// reset) their `remaining_preds` state with one memcpy of this slice
+    /// instead of `num_tasks` individual `in_degree` calls.
+    #[inline]
+    pub fn in_degrees(&self) -> &[u32] {
+        &self.in_degree
+    }
+
+    /// Successors of every task in the contiguous id block
+    /// `first..=last`, as one flat CSR slice — the concatenation of each
+    /// task's successor row in id order. Executors draining a frontier
+    /// whose ids form one ascending run use this to replace per-task row
+    /// walks with a single bulk append.
+    #[inline]
+    pub fn successors_block(&self, first: TaskId, last: TaskId) -> &[TaskId] {
+        &self.succ_flat
+            [self.succ_off[first.index()] as usize..self.succ_off[last.index() + 1] as usize]
     }
 
     /// Out-degree (number of direct successors) of `t`.
@@ -374,14 +422,41 @@ impl ExplicitDag {
         self.level_recip[l as usize]
     }
 
+    /// Whether every task has at most one predecessor, i.e. the
+    /// precedence relation is a forest (fork trees, chains, bundles of
+    /// chains). In a forest, completing a task enables **all** of its
+    /// successors outright, so an executor draining a frontier can push
+    /// them without consulting its remaining-predecessor table.
+    #[inline]
+    pub fn is_forest(&self) -> bool {
+        self.forest
+    }
+
+    /// Whether every edge drops exactly one level
+    /// (`level(to) == level(from) + 1`). When it does, all successors
+    /// enabled while level `l` drains land on level `l + 1`, so a
+    /// breadth-first executor can target one bucket without a per-task
+    /// level lookup. Together with [`ExplicitDag::is_forest`] this is the
+    /// precondition of the wide-frontier kernel's structural fast path.
+    #[inline]
+    pub fn has_unit_edges(&self) -> bool {
+        self.unit_edges
+    }
+
     /// Iterator over all task ids in id order.
     pub fn tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
         (0..self.in_degree.len() as u32).map(TaskId)
     }
 
-    /// Tasks with no predecessors (ready at job start).
+    /// Tasks with no predecessors (ready at job start), in id order.
     pub fn sources(&self) -> impl Iterator<Item = TaskId> + '_ {
-        self.tasks().filter(|t| self.in_degree[t.index()] == 0)
+        self.sources.iter().copied()
+    }
+
+    /// The cached source list as a slice (see [`ExplicitDag::sources`]).
+    #[inline]
+    pub fn source_tasks(&self) -> &[TaskId] {
+        &self.sources
     }
 
     /// Tasks with no successors.
@@ -647,6 +722,55 @@ mod tests {
         assert!(dot.contains("t0 -> t1;"));
         assert!(dot.contains("t1 -> t2;"));
         assert!(dot.starts_with("digraph g {"));
+    }
+
+    #[test]
+    fn structural_flags_track_shape() {
+        // A chain is a forest with unit edges.
+        let c = chain(4);
+        assert!(c.is_forest());
+        assert!(c.has_unit_edges());
+        // A diamond's join has in-degree 2: not a forest, edges unit.
+        let mut b = DagBuilder::new();
+        let a = b.add_task();
+        let x = b.add_task();
+        let y = b.add_task();
+        let z = b.add_task();
+        b.add_edge(a, x).unwrap();
+        b.add_edge(a, y).unwrap();
+        b.add_edge(x, z).unwrap();
+        b.add_edge(y, z).unwrap();
+        let d = b.build().unwrap();
+        assert!(!d.is_forest());
+        assert!(d.has_unit_edges());
+        // A skip-level edge (a -> b -> d plus a -> d) is not unit.
+        let mut bld = DagBuilder::new();
+        let a = bld.add_task();
+        let m = bld.add_task();
+        let s = bld.add_task();
+        bld.add_edge(a, m).unwrap();
+        bld.add_edge(m, s).unwrap();
+        bld.add_edge(a, s).unwrap();
+        let d = bld.build().unwrap();
+        assert!(!d.has_unit_edges());
+        assert!(!d.is_forest(), "the sink has two predecessors");
+    }
+
+    #[test]
+    fn successors_block_concatenates_rows() {
+        // 0 -> {2, 1}, 1 -> {3}: the block over ids 0..=1 is both rows
+        // in id order, preserving each row's insertion order.
+        let mut b = DagBuilder::new();
+        b.add_tasks(4);
+        b.add_edge(TaskId(0), TaskId(2)).unwrap();
+        b.add_edge(TaskId(0), TaskId(1)).unwrap();
+        b.add_edge(TaskId(1), TaskId(3)).unwrap();
+        let d = b.build().unwrap();
+        assert_eq!(
+            d.successors_block(TaskId(0), TaskId(1)),
+            &[TaskId(2), TaskId(1), TaskId(3)]
+        );
+        assert_eq!(d.successors_block(TaskId(2), TaskId(3)), &[]);
     }
 
     #[test]

@@ -47,7 +47,7 @@
 //! let outcome = run_open_system(
 //!     &cfg,
 //!     DynamicEquiPartition::new(cfg.processors),
-//!     |_rng| Box::new(PipelinedExecutor::new(PhasedJob::constant(2, 30))),
+//!     |_rng, _recycled| Box::new(PipelinedExecutor::new(PhasedJob::constant(2, 30))),
 //!     || Box::new(AControl::new(0.2)),
 //! );
 //! let stats = outcome.steady().expect("light load is stable");

@@ -48,12 +48,10 @@ impl<D: Borrow<ExplicitDag>, Q: ReadyQueue> DagExecutor<D, Q> {
     pub fn new(dag_handle: D) -> Self {
         let dag = dag_handle.borrow();
         let mut ready = Q::default();
-        for t in dag.sources() {
+        for &t in dag.source_tasks() {
             ready.push(t, dag.level(t));
         }
-        let remaining_preds = (0..dag.num_tasks() as u32)
-            .map(|i| dag.in_degree(TaskId(i)))
-            .collect();
+        let remaining_preds = dag.in_degrees().to_vec();
         let completed_per_level = vec![0; dag.span() as usize];
         Self {
             dag: dag_handle,
@@ -63,6 +61,26 @@ impl<D: Borrow<ExplicitDag>, Q: ReadyQueue> DagExecutor<D, Q> {
             completed: 0,
             elapsed: 0,
             batch: Vec::new(),
+        }
+    }
+
+    /// Rewinds the executor to the start of the job in place: one memcpy
+    /// of the dag's cached in-degree table into `remaining_preds`, a
+    /// zero-fill of the per-level counters, and a refill of the (cleared,
+    /// storage-retaining) ready queue from the cached source list.
+    /// Repeated runs of the same dag through a reset executor therefore
+    /// allocate nothing, and behave bit-identically to runs through a
+    /// freshly constructed executor (enforced by the equivalence suite).
+    pub fn reset(&mut self) {
+        let dag = self.dag.borrow();
+        self.remaining_preds.copy_from_slice(dag.in_degrees());
+        self.completed_per_level.fill(0);
+        self.completed = 0;
+        self.elapsed = 0;
+        self.batch.clear();
+        self.ready.clear();
+        for &t in dag.source_tasks() {
+            self.ready.push(t, dag.level(t));
         }
     }
 
@@ -91,13 +109,28 @@ impl<D: Borrow<ExplicitDag>, Q: ReadyQueue> JobExecutor for DagExecutor<D, Q> {
     /// task from the dag's precomputed reciprocal level sizes instead of
     /// cloning and rescanning the per-level completion counters (which
     /// cost `O(T∞)` per quantum and made chain-heavy workloads
-    /// quadratic). The dag handle is borrowed once per quantum, and a
-    /// serial regime — exactly one ready task whose completion enables at
-    /// most one successor — is fast-forwarded in a tight chain walk that
-    /// bypasses the ready queue and the batch scratch entirely.
+    /// quadratic). The dag handle is borrowed once per quantum, and two
+    /// regimes bypass the per-task queue round-trip entirely:
     ///
-    /// Span is accumulated in task pop order, so the result is
-    /// bit-identical to the per-step reference kernel
+    /// * **Serial** — exactly one ready task whose completion enables at
+    ///   most one successor is fast-forwarded in a tight chain walk.
+    /// * **Wide frontier** (breadth-first queues only) — while the lowest
+    ///   ready level holds at least `allotment` pending tasks, the
+    ///   frontier is frozen: every push during its drain targets a
+    ///   strictly higher level, so `s = min(pending / a, remaining)`
+    ///   whole steps are advanced at once — one bulk slice copy out of
+    ///   the level bucket, one `completed_per_level[l] += s·a` update,
+    ///   and successor decrements walked straight over the CSR successor
+    ///   slices. A partial level (fewer pending tasks than the allotment)
+    ///   falls back to a single straddling step whose batch is gathered
+    ///   across consecutive level slices before any successor is
+    ///   released, exactly like the per-task step. FIFO/LIFO queues have
+    ///   no level structure and always take the per-task path.
+    ///
+    /// Span is accumulated in task pop order — the saturated bulk loop
+    /// performs the same IEEE addition sequence, never an `n × recip`
+    /// shortcut — so the result is bit-identical to the per-step
+    /// reference kernel
     /// ([`ReferenceExecutor`](crate::reference::ReferenceExecutor)); the
     /// equivalence is enforced by the `executor_equivalence` proptest
     /// suite.
@@ -156,6 +189,126 @@ impl<D: Borrow<ExplicitDag>, Q: ReadyQueue> JobExecutor for DagExecutor<D, Q> {
                             ready.push(s, dag.level(s));
                         }
                         break;
+                    }
+                    continue;
+                }
+                if let Some(bf) = ready.as_level_buckets() {
+                    let a = allotment as usize;
+                    let (l, avail) = bf
+                        .current_level()
+                        .expect("a live job always has a ready task");
+                    if avail >= a {
+                        // Saturated macro-step: the next `s` steps each
+                        // pop exactly `a` tasks from level `l` (lower
+                        // buckets are empty and enabled successors land
+                        // strictly above `l`), so they collapse into one
+                        // bulk pass straight over the bucket slice — no
+                        // copy, and successor insertions go through a
+                        // split-borrow pusher that skips the queue's
+                        // per-push bookkeeping.
+                        let s = ((avail / a) as u64).min(remaining);
+                        let n = s as usize * a;
+                        let r = recips[l];
+                        if dag.is_forest() && dag.has_unit_edges() {
+                            // Structural fast path: with at most one
+                            // predecessor per task, a completed task
+                            // enables all its successors outright (no
+                            // remaining-predecessor decrement can be
+                            // pending), and with unit edges they all land
+                            // on level l + 1 — so the relaxation collapses
+                            // to appending each CSR successor row into the
+                            // next bucket. Skipped decrements leave stale
+                            // remaining-predecessor entries, but in a
+                            // forest each entry is only ever touched by
+                            // its task's sole predecessor, which has now
+                            // completed: the entry is never read again.
+                            bf.ensure_levels(dag.span() as usize + 1);
+                            let (slice, next) = bf.bulk_level_unit(l, n);
+                            let before = next.len();
+                            // Span accumulation doubles as the id-run
+                            // scan: the additions are the same serial
+                            // IEEE sequence as per-task popping (`n × r`
+                            // would round differently), and the integer
+                            // compares ride in the shadow of that FP
+                            // dependency chain.
+                            let mut consecutive = true;
+                            let mut prev = slice[0].0;
+                            span += r;
+                            for &t in &slice[1..] {
+                                consecutive &= t.0 == prev.wrapping_add(1);
+                                prev = t.0;
+                                span += r;
+                            }
+                            if consecutive {
+                                // One ascending id run: its CSR rows are
+                                // one flat range, appended in exactly the
+                                // order the per-task walk would push.
+                                next.extend_from_slice(
+                                    dag.successors_block(slice[0], slice[n - 1]),
+                                );
+                            } else {
+                                for &t in slice {
+                                    next.extend_from_slice(dag.successors(t));
+                                }
+                            }
+                            let pushed = next.len() - before;
+                            bf.finish_bulk(l, n, pushed);
+                        } else {
+                            bf.ensure_levels(dag.span() as usize);
+                            let (slice, mut pusher) = bf.bulk_level(l, n);
+                            for &t in slice {
+                                // Same addition sequence as per-task
+                                // popping: `n × r` would round
+                                // differently.
+                                span += r;
+                                for &sc in dag.successors(t) {
+                                    let rp = &mut remaining_preds[sc.index()];
+                                    *rp -= 1;
+                                    if *rp == 0 {
+                                        pusher.push(sc, dag.level(sc));
+                                    }
+                                }
+                            }
+                            let pushed = pusher.pushed();
+                            bf.finish_bulk(l, n, pushed);
+                        }
+                        completed_per_level[l] += n as u64;
+                        *completed += n as u64;
+                        work += n as u64;
+                        steps_worked += s;
+                        *elapsed += s;
+                        remaining -= s;
+                    } else {
+                        // Straddling step: the level is narrower than the
+                        // allotment, so one step's batch spans several
+                        // levels. Gather the whole batch from consecutive
+                        // bucket slices first — successors released by it
+                        // must not be runnable in the same step.
+                        let k = a.min(bf.len());
+                        batch.clear();
+                        while batch.len() < k {
+                            let (lv, av) = bf.current_level().expect("length checked");
+                            let take = av.min(k - batch.len());
+                            batch.extend_from_slice(&bf.pending(lv)[..take]);
+                            bf.consume(lv, take);
+                        }
+                        for &t in batch.iter() {
+                            let lv = dag.level(t) as usize;
+                            completed_per_level[lv] += 1;
+                            span += recips[lv];
+                            for &s in dag.successors(t) {
+                                let rp = &mut remaining_preds[s.index()];
+                                *rp -= 1;
+                                if *rp == 0 {
+                                    bf.push(s, dag.level(s));
+                                }
+                            }
+                        }
+                        *completed += k as u64;
+                        work += k as u64;
+                        steps_worked += 1;
+                        *elapsed += 1;
+                        remaining -= 1;
                     }
                     continue;
                 }
@@ -219,12 +372,19 @@ impl<D: Borrow<ExplicitDag>, Q: ReadyQueue> JobExecutor for DagExecutor<D, Q> {
     fn elapsed_steps(&self) -> u64 {
         self.elapsed
     }
+
+    fn try_reset(&mut self) -> bool {
+        self.reset();
+        true
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::ReferenceExecutor;
     use abg_dag::generate::{chain, figure2_job, fork_join_diamond};
+    use abg_dag::DagBuilder;
 
     #[test]
     fn chain_executes_serially_regardless_of_allotment() {
@@ -326,6 +486,56 @@ mod tests {
         let s = ex.run_quantum(2, u64::MAX);
         assert_eq!(s.work, d.work());
         assert!(s.completed);
+    }
+
+    #[test]
+    fn reset_replays_bit_identically() {
+        let d = figure2_job();
+        let mut ex = BGreedyExecutor::new(&d);
+        let run = |ex: &mut BGreedyExecutor| {
+            let mut out = Vec::new();
+            while !ex.is_complete() {
+                let s = ex.run_quantum(3, 4);
+                out.push((s.work, s.steps_worked, s.span.to_bits()));
+            }
+            out
+        };
+        let first = run(&mut ex);
+        ex.reset();
+        assert_eq!(ex.completed_work(), 0);
+        assert_eq!(ex.elapsed_steps(), 0);
+        assert_eq!(ex.ready_tasks(), 1);
+        assert!(!ex.is_complete());
+        assert_eq!(first, run(&mut ex), "reset run diverged");
+        assert!(ex.try_reset());
+    }
+
+    #[test]
+    fn scrambled_forest_takes_per_row_fallback_exactly() {
+        // A unit-edge forest whose level-1 bucket fills in non-ascending
+        // id order (0 -> 3, 1 -> 2): the saturated bulk step must detect
+        // the broken id run and fall back to per-row appends — and the
+        // level-2 bucket it produces ([4, 5]) is ascending again, so the
+        // next drain re-enters the single-range copy. Both paths must
+        // stay bit-identical to the per-step reference.
+        let mut b = DagBuilder::new();
+        b.add_tasks(6);
+        for (from, to) in [(0, 3), (1, 2), (3, 4), (2, 5)] {
+            b.add_edge(TaskId(from), TaskId(to)).unwrap();
+        }
+        let d = b.build().unwrap();
+        assert!(d.is_forest() && d.has_unit_edges());
+        let mut fast = BGreedyExecutor::new(&d);
+        let mut slow: ReferenceExecutor<&ExplicitDag, BreadthFirstQueue> =
+            ReferenceExecutor::new(&d);
+        while !fast.is_complete() {
+            let f = fast.run_quantum(2, 1);
+            let s = slow.run_quantum(2, 1);
+            assert_eq!(f.work, s.work);
+            assert_eq!(f.steps_worked, s.steps_worked);
+            assert_eq!(f.span.to_bits(), s.span.to_bits());
+        }
+        assert!(slow.is_complete());
     }
 
     #[test]

@@ -55,6 +55,14 @@ impl<J: Borrow<LeveledJob>> LeveledExecutor<J> {
     pub fn done_in_level(&self) -> u64 {
         self.done_in_level
     }
+
+    /// Rewinds to the start of the job (four counters, allocation-free).
+    pub fn reset(&mut self) {
+        self.level = 0;
+        self.done_in_level = 0;
+        self.completed = 0;
+        self.elapsed = 0;
+    }
 }
 
 impl<J: Borrow<LeveledJob>> JobExecutor for LeveledExecutor<J> {
@@ -116,6 +124,11 @@ impl<J: Borrow<LeveledJob>> JobExecutor for LeveledExecutor<J> {
 
     fn elapsed_steps(&self) -> u64 {
         self.elapsed
+    }
+
+    fn try_reset(&mut self) -> bool {
+        self.reset();
+        true
     }
 }
 

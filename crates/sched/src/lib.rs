@@ -73,4 +73,14 @@ pub trait JobExecutor {
     /// Time steps executed so far across all quanta (steps in which at
     /// least one task ran).
     fn elapsed_steps(&self) -> u64;
+
+    /// Rewinds the executor to the start of its job **in place**, keeping
+    /// every allocated buffer, and returns `true`; executors that cannot
+    /// rewind return `false` and callers construct a fresh one instead.
+    /// A successful reset must be observationally equivalent to a fresh
+    /// executor over the same job — harnesses use it to recycle executor
+    /// state across repeated runs without changing any simulated result.
+    fn try_reset(&mut self) -> bool {
+        false
+    }
 }

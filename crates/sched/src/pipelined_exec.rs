@@ -75,6 +75,15 @@ impl<J: Borrow<PhasedJob>> PipelinedExecutor<J> {
     pub fn current_phase(&self) -> usize {
         self.phase
     }
+
+    /// Rewinds to the start of the job (the state is four counters, so
+    /// this is trivially allocation-free).
+    pub fn reset(&mut self) {
+        self.phase = 0;
+        self.pos = 0;
+        self.completed = 0;
+        self.elapsed = 0;
+    }
 }
 
 impl<J: Borrow<PhasedJob>> JobExecutor for PipelinedExecutor<J> {
@@ -137,6 +146,11 @@ impl<J: Borrow<PhasedJob>> JobExecutor for PipelinedExecutor<J> {
 
     fn elapsed_steps(&self) -> u64 {
         self.elapsed
+    }
+
+    fn try_reset(&mut self) -> bool {
+        self.reset();
+        true
     }
 }
 

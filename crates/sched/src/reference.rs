@@ -75,6 +75,22 @@ impl<D: Borrow<ExplicitDag>, Q: ReadyQueue> ReferenceExecutor<D, Q> {
         }
     }
 
+    /// Rewinds to the start of the job in place (the reference mirror of
+    /// [`DagExecutor::reset`](crate::DagExecutor::reset), so reset-reuse
+    /// can itself be equivalence-tested against this kernel).
+    pub fn reset(&mut self) {
+        let dag = self.dag.borrow();
+        self.remaining_preds.copy_from_slice(dag.in_degrees());
+        self.completed_per_level.fill(0);
+        self.completed = 0;
+        self.elapsed = 0;
+        self.batch.clear();
+        self.ready.clear();
+        for t in dag.sources() {
+            self.ready.push(t, dag.level(t));
+        }
+    }
+
     /// One time step; returns tasks completed and adds each task's
     /// fractional span contribution to `span` in pop order.
     fn step(&mut self, allotment: u32, span: &mut f64) -> u64 {
@@ -164,6 +180,11 @@ impl<D: Borrow<ExplicitDag>, Q: ReadyQueue> JobExecutor for ReferenceExecutor<D,
 
     fn elapsed_steps(&self) -> u64 {
         self.elapsed
+    }
+
+    fn try_reset(&mut self) -> bool {
+        self.reset();
+        true
     }
 }
 

@@ -16,6 +16,52 @@ fn scripts() -> impl Strategy<Value = Vec<Option<(u32, u32)>>> {
     )
 }
 
+/// The pop rule a naive model replays (see [`oracle`]).
+#[derive(Clone, Copy)]
+enum Discipline {
+    BreadthFirst,
+    Fifo,
+    Lifo,
+}
+
+/// Replays a script against a naive `Vec` model of the discipline and
+/// returns the pop sequence: the model keeps `(level, arrival, id)`
+/// triples and pops by linear scan — minimum `(level, arrival)` for
+/// breadth-first (stable: FIFO within a level), minimum `arrival` for
+/// FIFO, maximum `arrival` for LIFO.
+fn oracle(script: &[Option<(u32, u32)>], d: Discipline) -> Vec<u32> {
+    let mut model: Vec<(u32, usize, u32)> = Vec::new();
+    let mut popped = Vec::new();
+    for (arrival, step) in script.iter().enumerate() {
+        match step {
+            Some((id, level)) => model.push((*level, arrival, *id)),
+            None => {
+                let pick = match d {
+                    Discipline::BreadthFirst => model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(l, a, _))| (l, a))
+                        .map(|(i, _)| i),
+                    Discipline::Fifo => model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(_, a, _))| a)
+                        .map(|(i, _)| i),
+                    Discipline::Lifo => model
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, &(_, a, _))| a)
+                        .map(|(i, _)| i),
+                };
+                if let Some(i) = pick {
+                    popped.push(model.remove(i).2);
+                }
+            }
+        }
+    }
+    popped
+}
+
 fn run_script<Q: ReadyQueue>(queue: &mut Q, script: &[Option<(u32, u32)>]) -> Vec<u32> {
     let mut popped = Vec::new();
     for step in script {
@@ -85,6 +131,41 @@ proptest! {
         check(BreadthFirstQueue::default(), &script);
         check(FifoQueue::default(), &script);
         check(LifoQueue::default(), &script);
+    }
+
+    /// Exact-identity oracle: each queue's full pop sequence over an
+    /// interleaved script equals a naive sorted model of its discipline
+    /// — for breadth-first that is "stable sort by level": minimum level
+    /// first, FIFO (push order) within a level. The interleaving drives
+    /// the breadth-first cursor up and then pushes below it, so the
+    /// rewind path is exercised, not just monotone level streams.
+    #[test]
+    fn pop_sequences_match_sorted_model(script in scripts()) {
+        let bf = run_script(&mut BreadthFirstQueue::default(), &script);
+        let fifo = run_script(&mut FifoQueue::default(), &script);
+        let lifo = run_script(&mut LifoQueue::default(), &script);
+        prop_assert_eq!(bf, oracle(&script, Discipline::BreadthFirst));
+        prop_assert_eq!(fifo, oracle(&script, Discipline::Fifo));
+        prop_assert_eq!(lifo, oracle(&script, Discipline::Lifo));
+    }
+
+    /// Directed push-below-cursor coverage: drain a high level to park
+    /// the breadth-first cursor there, then push strictly lower levels.
+    /// Every later pop must still produce the global minimum level, and
+    /// the final drain must follow the sorted model exactly.
+    #[test]
+    fn breadth_first_push_below_cursor(
+        high in 5u32..20,
+        low_ids in prop::collection::vec((0u32..1000, 0u32..5), 1..32),
+    ) {
+        // Park the cursor: push two tasks at `high`, pop them both.
+        let mut script: Vec<Option<(u32, u32)>> =
+            vec![Some((9000, high)), Some((9001, high)), None, None];
+        // Now everything arrives below the cursor.
+        script.extend(low_ids.iter().map(|&(id, l)| Some((id, l))));
+        script.extend((0..low_ids.len()).map(|_| None));
+        let got = run_script(&mut BreadthFirstQueue::default(), &script);
+        prop_assert_eq!(got, oracle(&script, Discipline::BreadthFirst));
     }
 
     /// FIFO pops in push order; LIFO pops in reverse push order (when

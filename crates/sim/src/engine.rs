@@ -202,6 +202,29 @@ impl<A: Allocator> QuantumEngine<A> {
     /// Panics if no job is live — callers decide how to skip idle time
     /// (see [`skip_idle_until`](QuantumEngine::skip_idle_until)).
     pub fn step_quantum(&mut self, completed: &mut Vec<CompletedJob>) {
+        self.step_quantum_inner(completed, None);
+    }
+
+    /// [`step_quantum`](QuantumEngine::step_quantum), but hands the
+    /// executor boxes of drained jobs back to the caller instead of
+    /// dropping them. An open-system driver over a homogeneous workload
+    /// can [`try_reset`](JobExecutor::try_reset) and re-admit them, so a
+    /// steady-state run recycles a bounded pool of executors instead of
+    /// allocating one per arrival. Purely an allocation-lifetime change:
+    /// the simulated schedule is identical to the dropping variant.
+    pub fn step_quantum_reclaiming(
+        &mut self,
+        completed: &mut Vec<CompletedJob>,
+        reclaimed: &mut Vec<Box<dyn JobExecutor + Send>>,
+    ) {
+        self.step_quantum_inner(completed, Some(reclaimed));
+    }
+
+    fn step_quantum_inner(
+        &mut self,
+        completed: &mut Vec<CompletedJob>,
+        mut reclaimed: Option<&mut Vec<Box<dyn JobExecutor + Send>>>,
+    ) {
         let l = self.quantum_len;
         let now = self.now;
         self.live.clear();
@@ -255,16 +278,21 @@ impl<A: Allocator> QuantumEngine<A> {
             self.retained.clear();
             for slot in self.slots.drain(..) {
                 match slot.completion {
-                    Some(step) => completed.push(CompletedJob {
-                        id: slot.id,
-                        release: slot.release_step,
-                        completion: step,
-                        work: slot.executor.total_work(),
-                        span: slot.executor.total_span(),
-                        waste: slot.waste,
-                        quanta: slot.quanta,
-                        trace: slot.trace,
-                    }),
+                    Some(step) => {
+                        completed.push(CompletedJob {
+                            id: slot.id,
+                            release: slot.release_step,
+                            completion: step,
+                            work: slot.executor.total_work(),
+                            span: slot.executor.total_span(),
+                            waste: slot.waste,
+                            quanta: slot.quanta,
+                            trace: slot.trace,
+                        });
+                        if let Some(pool) = reclaimed.as_deref_mut() {
+                            pool.push(slot.executor);
+                        }
+                    }
                     None => self.retained.push(slot),
                 }
             }

@@ -93,6 +93,9 @@ pub struct StealExecutor<D: Borrow<ExplicitDag>> {
     elapsed: u64,
     steal_cycles: u64,
     rng: StdRng,
+    /// Construction seed, kept so [`reset`](Self::reset) can replay the
+    /// identical steal stream.
+    seed: u64,
     /// Scratch: tasks executed this step (children enabled after).
     batch: Vec<(usize, TaskId)>,
 }
@@ -119,8 +122,30 @@ impl<D: Borrow<ExplicitDag>> StealExecutor<D> {
             elapsed: 0,
             steal_cycles: 0,
             rng: StdRng::seed_from_u64(seed),
+            seed,
             batch: Vec::new(),
         }
+    }
+
+    /// Rewinds to the start of the job in place, re-seeding the RNG so a
+    /// reset run replays the exact steal stream of a fresh executor. The
+    /// in-degree table is memcpy'd from the dag's cache and the deque set
+    /// shrinks back to the single initial deque without reallocating it.
+    pub fn reset(&mut self) {
+        let dag = self.dag.borrow();
+        self.remaining_preds.copy_from_slice(dag.in_degrees());
+        self.deques.truncate(1);
+        self.deques[0].clear();
+        for t in dag.sources() {
+            self.deques[0].push_back(t);
+        }
+        self.pending.clear();
+        self.pending.push(None);
+        self.completed = 0;
+        self.elapsed = 0;
+        self.steal_cycles = 0;
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.batch.clear();
     }
 
     /// Total steal cycles spent so far (the distributed scheduler's
@@ -251,6 +276,11 @@ impl<D: Borrow<ExplicitDag>> JobExecutor for StealExecutor<D> {
     fn elapsed_steps(&self) -> u64 {
         self.elapsed
     }
+
+    fn try_reset(&mut self) -> bool {
+        self.reset();
+        true
+    }
 }
 
 #[cfg(test)]
@@ -373,6 +403,23 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42).1, run(43).1, "different seeds steal differently");
+    }
+
+    #[test]
+    fn reset_replays_the_identical_run() {
+        let d = chain_bundle(8, 40);
+        let trace = |ex: &mut StealExecutor<&ExplicitDag>| {
+            let mut t = Vec::new();
+            while !ex.is_complete() {
+                t.push(ex.run_quantum(5, 8).work);
+            }
+            (t, ex.steal_cycles())
+        };
+        let mut ex = StealExecutor::new(&d, 42);
+        let first = trace(&mut ex);
+        assert!(ex.try_reset());
+        let second = trace(&mut ex);
+        assert_eq!(first, second, "reset must replay the exact steal stream");
     }
 
     #[test]

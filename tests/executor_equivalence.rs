@@ -152,6 +152,56 @@ proptest! {
         lockstep::<LifoQueue>(&dag, &sched);
     }
 
+    /// The wide-frontier bulk kernel is bit-identical to the reference
+    /// on the canonical fork-join shapes, each of which pins a different
+    /// kernel regime: the binary fork tree drives the structural fast
+    /// path (forest, unit edges, contiguous id runs), the chain bundle
+    /// the steady saturated path with live join in-degrees, the diamond
+    /// wide straddling steps, and nested series-parallel graphs mix
+    /// every regime with skip-level edges. Allotments range up to 48 so
+    /// quanta cross the saturated/straddling boundary both ways, and all
+    /// three queue disciplines run the same schedule.
+    #[test]
+    fn macro_kernel_bit_identical_on_forkjoin_shapes(
+        shape in 0usize..4,
+        seed in 0u64..200,
+        sched in prop::collection::vec((0u32..=48, 1u64..=16), 1..30),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dag = match shape {
+            0 => generate::binary_fork_tree(7),
+            1 => generate::chain_bundle(6, 9),
+            2 => generate::fork_join_diamond(37),
+            _ => generate::series_parallel(&mut rng, 60, 4, 0.4),
+        };
+        lockstep::<BreadthFirstQueue>(&dag, &sched);
+        lockstep::<FifoQueue>(&dag, &sched);
+        lockstep::<LifoQueue>(&dag, &sched);
+    }
+
+    /// Reset-then-rerun bit-identity: running a dag through a reset
+    /// executor replays the exact per-quantum statistics (span compared
+    /// by bit pattern) of both the executor's own first run and a
+    /// freshly constructed one — reset is observationally equivalent to
+    /// construction.
+    #[test]
+    fn reset_rerun_is_bit_identical(
+        seed in 0u64..300,
+        sched in prop::collection::vec((0u32..=12, 1u64..=16), 1..30),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dag = generate::random_layered(&mut rng, 6, 1..=5, 0.3);
+        let mut ex = BGreedyExecutor::new(&dag);
+        let first = trace(&mut ex, &sched);
+        ex.reset();
+        let again = trace(&mut ex, &sched);
+        let fresh = trace(&mut BGreedyExecutor::new(&dag), &sched);
+        prop_assert_eq!(&first, &again, "reset diverged from first run");
+        prop_assert_eq!(&first, &fresh, "reset diverged from fresh construction");
+    }
+
     /// Driven to completion with generous quanta, both kernels agree on
     /// the totals and on completing at all.
     #[test]
@@ -205,6 +255,33 @@ fn lockstep<Q: ReadyQueue>(dag: &ExplicitDag, sched: &[(u32, u64)]) {
         assert_eq!(fast.elapsed_steps(), slow.elapsed_steps());
         assert_eq!(fast.is_complete(), slow.is_complete());
     }
+}
+
+/// Replays a quantum schedule and returns the per-quantum observable
+/// trace: (work, steps worked, span bit pattern, completed) per
+/// quantum, plus the executor counters after each one.
+fn trace<D, Q>(
+    ex: &mut DagExecutor<D, Q>,
+    sched: &[(u32, u64)],
+) -> Vec<(u64, u64, u64, bool, u64, u64)>
+where
+    D: std::borrow::Borrow<ExplicitDag>,
+    Q: ReadyQueue,
+{
+    sched
+        .iter()
+        .map(|&(a, l)| {
+            let s = ex.run_quantum(a, l);
+            (
+                s.work,
+                s.steps_worked,
+                s.span.to_bits(),
+                s.completed,
+                ex.completed_work(),
+                ex.elapsed_steps(),
+            )
+        })
+        .collect()
 }
 
 /// Runs a job to completion at a fixed allotment; returns (steps,

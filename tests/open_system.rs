@@ -61,7 +61,15 @@ fn run_with(cfg: &OpenConfig, abg_controller: bool) -> OpenOutcome {
     run_open_system(
         cfg,
         DynamicEquiPartition::new(cfg.processors),
-        |_rng| -> Box<dyn JobExecutor + Send> {
+        |_rng, recycled| -> Box<dyn JobExecutor + Send> {
+            // Homogeneous constant jobs: recycle drained executors; the
+            // reset path must leave every statistic untouched (the smoke
+            // fingerprint above pins the heterogeneous fresh-build path).
+            if let Some(mut ex) = recycled {
+                if ex.try_reset() {
+                    return ex;
+                }
+            }
             Box::new(PipelinedExecutor::new(PhasedJob::constant(4, 50)))
         },
         move || -> Box<dyn RequestCalculator + Send> {
