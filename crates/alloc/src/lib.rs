@@ -104,11 +104,44 @@ pub trait Allocator {
         out
     }
 
+    /// Object-safe availability probe used by the generic quantum core:
+    /// writes the availability `p_i` of each job into `out` and returns
+    /// `true`, or returns `false` (leaving `out` in an unspecified state)
+    /// if this policy cannot answer. Like [`Allocator::availabilities`],
+    /// the answer describes the *next* allocation, so engines probe
+    /// first, then allocate.
+    ///
+    /// The default declines; the concrete policies in this crate all
+    /// override it (delegating to the clone-probing
+    /// [`Allocator::availabilities`]), so traces carry `p(q)` under any
+    /// of them.
+    fn try_availabilities(&mut self, requests: &[f64], out: &mut Vec<u32>) -> bool {
+        let _ = (requests, out);
+        false
+    }
+
     /// Machine size `P`.
     fn total_processors(&self) -> u32;
 
     /// Short policy name for traces and reports.
     fn name(&self) -> &'static str;
+}
+
+/// Mutable references are allocators too, so a driver that owns its
+/// allocator can lend it to a generic engine for the duration of a run.
+impl<A: Allocator + ?Sized> Allocator for &mut A {
+    fn allocate_into(&mut self, requests: &[f64], out: &mut Vec<u32>) {
+        (**self).allocate_into(requests, out)
+    }
+    fn try_availabilities(&mut self, requests: &[f64], out: &mut Vec<u32>) -> bool {
+        (**self).try_availabilities(requests, out)
+    }
+    fn total_processors(&self) -> u32 {
+        (**self).total_processors()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
 }
 
 #[cfg(test)]

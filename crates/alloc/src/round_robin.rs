@@ -55,6 +55,12 @@ impl Allocator for RoundRobin {
         debug_assert_eq!(invariants::validate(requests, out, self.processors), Ok(()));
     }
 
+    fn try_availabilities(&mut self, requests: &[f64], out: &mut Vec<u32>) -> bool {
+        out.clear();
+        out.append(&mut self.availabilities(requests));
+        true
+    }
+
     fn total_processors(&self) -> u32 {
         self.processors
     }

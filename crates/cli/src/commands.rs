@@ -651,14 +651,16 @@ fn baseline_steps_per_sec(json: &str, kernel: &str) -> Option<f64> {
 /// Kernels the `--check` regression gate covers: the hot-loop kernels
 /// whose throughput exercises each simulation regime — the serial
 /// macro-stepping chain, the wide-frontier bulk paths (tree and
-/// bundle), and the open-system driver with executor recycling. All are
+/// bundle), the open-system driver with executor recycling, and the
+/// monomorphized unified quantum core in mixed closed+open use. All are
 /// stable well within the 30% band on an otherwise idle machine, so a
 /// trip means a real regression, not noise.
-const GATED_KERNELS: [&str; 4] = [
+const GATED_KERNELS: [&str; 5] = [
     "chain_macro",
     "forkjoin_tree",
     "forkjoin_bundle",
     "open_system",
+    "unified_engine",
 ];
 
 /// The `--check` regression gate: every gated kernel's fresh throughput

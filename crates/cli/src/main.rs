@@ -47,6 +47,13 @@ fn main() -> ExitCode {
         println!("{}", Options::USAGE);
         return ExitCode::SUCCESS;
     };
+    if let Some(n) = opts.threads {
+        // The harness reads ABG_THREADS through
+        // `abg::experiments::configured_threads`; the flag is a per-run
+        // override of that variable. Results are thread-count
+        // independent — this pins wall-clock behaviour only.
+        std::env::set_var("ABG_THREADS", n.to_string());
+    }
     match commands::run(&command, &opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {

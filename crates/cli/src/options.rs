@@ -23,6 +23,9 @@ pub struct Options {
     /// Compare bench results against a committed baseline JSON and fail
     /// on regression (the `bench` subcommand).
     pub check: Option<String>,
+    /// Override the harness worker count (mirrors the `ABG_THREADS`
+    /// environment variable; the flag wins when both are set).
+    pub threads: Option<usize>,
 }
 
 impl Options {
@@ -59,9 +62,11 @@ flags:
   --plot               append ASCII charts after the tables
   --json               bench: also write BENCH_kernels.json
                        open: print the sweep as JSON (with its fingerprint)
-  --check PATH         bench: fail if chain_macro throughput regresses
+  --check PATH         bench: fail if any gated kernel's throughput regresses
                        more than 30% below the baseline JSON at PATH
   --seed N             override the experiment seed
+  --threads N          harness worker count (overrides ABG_THREADS; results
+                       are identical for any count, only wall-clock changes)
   -h, --help           this text";
 
     /// Parses raw arguments.
@@ -82,6 +87,16 @@ flags:
                 "--seed" => {
                     let v = it.next().ok_or("--seed needs a value")?;
                     opts.seed = Some(v.parse().map_err(|_| format!("invalid seed '{v}'"))?);
+                }
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("invalid thread count '{v}'"))?;
+                    if n == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                    opts.threads = Some(n);
                 }
                 "-h" | "--help" => {
                     opts.command = None;
@@ -156,6 +171,16 @@ mod tests {
         let o = parse(&["bench", "smoke", "--check", "BENCH_kernels.json"]).unwrap();
         assert_eq!(o.check.as_deref(), Some("BENCH_kernels.json"));
         assert!(parse(&["bench", "--check"]).is_err());
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        let o = parse(&["bench", "--threads", "4"]).unwrap();
+        assert_eq!(o.threads, Some(4));
+        assert!(parse(&["sweep"]).unwrap().threads.is_none());
+        assert!(parse(&["bench", "--threads"]).is_err());
+        assert!(parse(&["bench", "--threads", "zero"]).is_err());
+        assert!(parse(&["bench", "--threads", "0"]).is_err());
     }
 
     #[test]

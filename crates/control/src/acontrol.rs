@@ -1,6 +1,6 @@
 //! A-Control: the paper's adaptive integral controller (Section 3).
 
-use crate::RequestCalculator;
+use crate::Controller;
 use abg_sched::QuantumStats;
 use serde::{Deserialize, Serialize};
 
@@ -25,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// that case rather than decaying toward zero.
 ///
 /// ```
-/// use abg_control::{AControl, RequestCalculator};
+/// use abg_control::{AControl, Controller};
 /// use abg_sched::QuantumStats;
 ///
 /// let mut ctl = AControl::new(0.2);
@@ -80,7 +80,7 @@ impl AControl {
     }
 }
 
-impl RequestCalculator for AControl {
+impl Controller for AControl {
     fn observe(&mut self, stats: &QuantumStats) -> f64 {
         if let Some(a) = stats.average_parallelism() {
             self.request = self.rate * self.request + (1.0 - self.rate) * a;

@@ -10,12 +10,12 @@
 //! against the job actually being scheduled.
 //!
 //! When `Ĉ_L` is small the controller behaves exactly like
-//! [`AControl`] at the target rate; when the job turns out to sway
+//! [`AControl`](crate::AControl) at the target rate; when the job turns out to sway
 //! violently, the rate automatically drops toward one-step convergence
 //! (`r = 0`), which is the safe end of the spectrum — the request then
 //! tracks the latest measurement as fast as possible.
 
-use crate::RequestCalculator;
+use crate::Controller;
 use abg_sched::QuantumStats;
 use serde::{Deserialize, Serialize};
 
@@ -76,7 +76,7 @@ impl AdaptiveRateControl {
     }
 }
 
-impl RequestCalculator for AdaptiveRateControl {
+impl Controller for AdaptiveRateControl {
     fn observe(&mut self, stats: &QuantumStats) -> f64 {
         if let Some(a) = stats.average_parallelism() {
             // Update Ĉ_L only on full quanta, matching the definition.

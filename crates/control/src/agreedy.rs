@@ -1,7 +1,7 @@
 //! A-Greedy: the multiplicative-increase multiplicative-decrease
 //! baseline (Agrawal, He, Hsu, Leiserson — PPoPP 2006).
 
-use crate::RequestCalculator;
+use crate::Controller;
 use abg_sched::QuantumStats;
 use serde::{Deserialize, Serialize};
 
@@ -28,7 +28,7 @@ use serde::{Deserialize, Serialize};
 /// paper's Figures 1 and 4(b) that motivates ABG.
 ///
 /// ```
-/// use abg_control::{AGreedy, RequestCalculator};
+/// use abg_control::{AGreedy, Controller};
 /// use abg_sched::QuantumStats;
 ///
 /// let mut desire = AGreedy::paper_default(); // ρ = 2, δ = 0.8
@@ -96,7 +96,7 @@ impl AGreedy {
     }
 }
 
-impl RequestCalculator for AGreedy {
+impl Controller for AGreedy {
     fn observe(&mut self, stats: &QuantumStats) -> f64 {
         // A zero allotment carries no utilization signal; hold the desire.
         if stats.allotment == 0 {

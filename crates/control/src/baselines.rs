@@ -1,6 +1,6 @@
 //! Reference request calculators used as experiment controls.
 
-use crate::RequestCalculator;
+use crate::Controller;
 use abg_sched::QuantumStats;
 use serde::{Deserialize, Serialize};
 
@@ -27,7 +27,7 @@ impl ConstantRequest {
     }
 }
 
-impl RequestCalculator for ConstantRequest {
+impl Controller for ConstantRequest {
     fn initial_request(&self) -> f64 {
         self.request
     }
@@ -73,7 +73,7 @@ impl OracleRequest {
     }
 }
 
-impl RequestCalculator for OracleRequest {
+impl Controller for OracleRequest {
     fn initial_request(&self) -> f64 {
         self.parallelism
     }
@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn boxed_calculator_dispatches() {
-        let mut b: Box<dyn RequestCalculator + Send> = Box::new(ConstantRequest::new(4.0));
+        let mut b: Box<dyn Controller + Send> = Box::new(ConstantRequest::new(4.0));
         assert_eq!(b.observe(&any_quantum()), 4.0);
         assert_eq!(b.name(), "constant");
         assert_eq!(b.initial_request(), 4.0);

@@ -27,14 +27,23 @@ pub use pi::PiControl;
 
 use abg_sched::QuantumStats;
 
-/// A non-clairvoyant processor-request calculator for one job.
+/// A non-clairvoyant per-job controller: the request side of the
+/// two-level loop, plus an optional say in the quantum length.
 ///
-/// The calculator is fed the statistics of each completed quantum and
+/// The controller is fed the statistics of each completed quantum and
 /// produces the request for the next one. `current_request` must return
 /// the value most recently produced (or the initial request before any
 /// feedback), so the simulator can query a job's standing request without
 /// mutating state.
-pub trait RequestCalculator {
+///
+/// The two quantum-length hooks let a controller *pace* the loop (the
+/// paper's adaptive-quantum future-work item): the engine passes its
+/// configured quantum length `L` and the controller returns the length it
+/// wants for the (first / next) quantum. The defaults return `L`
+/// unchanged, so ordinary request calculators are fixed-quantum
+/// controllers for free. On a machine shared by several jobs the engine
+/// runs each quantum at the minimum length any live job asks for.
+pub trait Controller {
     /// The request for the job's first quantum; the paper fixes
     /// `d(1) = 1` for both ABG and A-Greedy.
     fn initial_request(&self) -> f64 {
@@ -47,16 +56,39 @@ pub trait RequestCalculator {
     /// The standing request (last value returned by [`observe`], or the
     /// initial request).
     ///
-    /// [`observe`]: RequestCalculator::observe
+    /// [`observe`]: Controller::observe
     fn current_request(&self) -> f64;
 
     /// Short human-readable name used in traces and reports.
     fn name(&self) -> &'static str;
+
+    /// Length of the job's first quantum, given the engine's configured
+    /// length `default_len`. Fixed-quantum controllers keep the default.
+    fn initial_quantum_len(&self, default_len: u64) -> u64 {
+        default_len
+    }
+
+    /// Length the controller wants for the job's next quantum, queried
+    /// right after each [`observe`] call. Fixed-quantum controllers keep
+    /// the default.
+    ///
+    /// [`observe`]: Controller::observe
+    fn next_quantum_len(&mut self, default_len: u64) -> u64 {
+        default_len
+    }
 }
 
-/// Boxed calculators are calculators too, so the simulator can hold a
-/// heterogeneous set of per-job controllers.
-impl RequestCalculator for Box<dyn RequestCalculator + Send> {
+/// The pre-unification name of [`Controller`] (when the request side and
+/// the quantum-length side were separate traits). Kept as an alias so
+/// existing `impl RequestCalculator for ...` blocks and bounds keep
+/// working unchanged.
+pub use Controller as RequestCalculator;
+
+/// Boxed controllers are controllers too, so the simulator can hold a
+/// heterogeneous set of per-job controllers. All six methods forward —
+/// including the quantum-length hooks, so a boxed paced controller still
+/// paces the engine.
+impl Controller for Box<dyn Controller + Send> {
     fn initial_request(&self) -> f64 {
         (**self).initial_request()
     }
@@ -68,5 +100,34 @@ impl RequestCalculator for Box<dyn RequestCalculator + Send> {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn initial_quantum_len(&self, default_len: u64) -> u64 {
+        (**self).initial_quantum_len(default_len)
+    }
+    fn next_quantum_len(&mut self, default_len: u64) -> u64 {
+        (**self).next_quantum_len(default_len)
+    }
+}
+
+/// Mutable references are controllers too, so a driver that owns its
+/// controller can lend it to a generic engine for the duration of a run.
+impl<T: Controller + ?Sized> Controller for &mut T {
+    fn initial_request(&self) -> f64 {
+        (**self).initial_request()
+    }
+    fn observe(&mut self, stats: &QuantumStats) -> f64 {
+        (**self).observe(stats)
+    }
+    fn current_request(&self) -> f64 {
+        (**self).current_request()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn initial_quantum_len(&self, default_len: u64) -> u64 {
+        (**self).initial_quantum_len(default_len)
+    }
+    fn next_quantum_len(&mut self, default_len: u64) -> u64 {
+        (**self).next_quantum_len(default_len)
     }
 }

@@ -23,7 +23,7 @@
 //! tests verify stability, zero steady-state error, both sides of that
 //! trade-off, and the A-Control-equivalence corner empirically.
 
-use crate::RequestCalculator;
+use crate::Controller;
 use abg_sched::QuantumStats;
 use serde::{Deserialize, Serialize};
 
@@ -74,7 +74,7 @@ impl PiControl {
     }
 }
 
-impl RequestCalculator for PiControl {
+impl Controller for PiControl {
     fn observe(&mut self, stats: &QuantumStats) -> f64 {
         if let Some(a) = stats.average_parallelism() {
             let error = 1.0 - self.request / a;
@@ -114,7 +114,7 @@ mod tests {
         }
     }
 
-    fn trajectory(ctl: &mut dyn RequestCalculator, a: f64, quanta: usize) -> Vec<f64> {
+    fn trajectory(ctl: &mut dyn Controller, a: f64, quanta: usize) -> Vec<f64> {
         let mut out = vec![ctl.current_request()];
         for _ in 1..quanta {
             let s = quantum((a * 10.0) as u64, 10.0);

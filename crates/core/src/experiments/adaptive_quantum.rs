@@ -90,25 +90,23 @@ pub fn adaptive_quantum_comparison(cfg: &AdaptiveQuantumConfig) -> Vec<AdaptiveQ
         let sim = SingleJobConfig::new(cfg.short_quantum);
         let short = run_single_job_adaptive(
             &mut ex,
-            &mut AControl::new(cfg.rate),
+            &mut FixedQuantum(cfg.short_quantum).pace(AControl::new(cfg.rate)),
             &mut Scripted::ample(cfg.processors),
-            &mut FixedQuantum(cfg.short_quantum),
             sim,
         );
         ex.reset();
         let long = run_single_job_adaptive(
             &mut ex,
-            &mut AControl::new(cfg.rate),
+            &mut FixedQuantum(cfg.long_quantum).pace(AControl::new(cfg.rate)),
             &mut Scripted::ample(cfg.processors),
-            &mut FixedQuantum(cfg.long_quantum),
             sim,
         );
         ex.reset();
         let adaptive = run_single_job_adaptive(
             &mut ex,
-            &mut AControl::new(cfg.rate),
+            &mut AdaptiveQuantum::new(cfg.short_quantum, cfg.long_quantum, cfg.stability_band)
+                .pace(AControl::new(cfg.rate)),
             &mut Scripted::ample(cfg.processors),
-            &mut AdaptiveQuantum::new(cfg.short_quantum, cfg.long_quantum, cfg.stability_band),
             sim,
         );
         [short, long, adaptive]

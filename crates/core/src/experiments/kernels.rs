@@ -17,7 +17,7 @@ use abg_dag::{generate, LeveledJob, Phase, PhasedJob};
 use abg_sched::{
     BGreedyExecutor, JobExecutor, LeveledExecutor, PipelinedExecutor, ReferenceBGreedyExecutor,
 };
-use abg_sim::MultiJobSim;
+use abg_sim::{MultiJobSim, NullProbe, QuantumCore};
 use abg_workload::{JobSetSpec, ReleaseSchedule};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -401,6 +401,45 @@ pub fn run_kernel_suite(cfg: &KernelBenchConfig) -> Vec<KernelResult> {
         (stats.arrivals, stats.horizon)
     }));
 
+    // The unified quantum core driven directly, fully monomorphized (no
+    // boxed executors or controllers, `NullProbe` instrumentation
+    // compiled away): a closed batch released together followed by a
+    // staggered open tail that exercises admission ordering and the
+    // idle fast-forward. Ops are jobs completed, steps the simulated
+    // horizon; both are deterministic so the counters stay
+    // iter-constant. The core is rebuilt every repetition — admission
+    // and teardown are part of what this kernel prices.
+    let uni_job = Arc::new(PhasedJob::constant(8, 200)); // T1 = 1600
+    let uni_batch = (cfg.processors as u64 / 8).max(2);
+    let uni_gap = 400; // four quanta between staggered releases
+    results.push(measure("unified_engine", ms, || {
+        let mut core = QuantumCore::new(DynamicEquiPartition::new(cfg.processors), 100, NullProbe);
+        for _ in 0..uni_batch {
+            core.admit(
+                PipelinedExecutor::new(Arc::clone(&uni_job)),
+                AControl::new(0.2),
+                0,
+            );
+        }
+        for i in 0..uni_batch {
+            core.admit(
+                PipelinedExecutor::new(Arc::clone(&uni_job)),
+                AControl::new(0.2),
+                (i + 1) * uni_gap,
+            );
+        }
+        let mut done = Vec::new();
+        while core.jobs_in_system() > 0 {
+            if !core.any_live() {
+                let next = core.next_release().expect("jobs pending");
+                core.skip_idle_until(next);
+                continue;
+            }
+            core.step_quantum(&mut done);
+        }
+        (done.len() as u64, core.now())
+    }));
+
     results
 }
 
@@ -439,6 +478,7 @@ mod tests {
                 "single_job_sweep",
                 "multiprogrammed_deq",
                 "open_system",
+                "unified_engine",
             ]
         );
         for r in &results {

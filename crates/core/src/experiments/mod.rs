@@ -61,11 +61,12 @@ pub(crate) fn task_seed(seed: u64, a: u64, b: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Worker count used by [`parallel_map`]: the `ABG_THREADS` environment
+/// Worker count used by the sweep harness's `parallel_map`: the `ABG_THREADS` environment
 /// variable when set to a positive integer, the machine's available
 /// parallelism otherwise. Results never depend on this — only wall-clock
-/// does — so pinning it (CI does) is purely about reproducible timing.
-pub(crate) fn configured_threads() -> usize {
+/// does — so pinning it (CI does, and `abg-cli --threads N` does per
+/// invocation) is purely about reproducible timing.
+pub fn configured_threads() -> usize {
     if let Ok(s) = std::env::var("ABG_THREADS") {
         if let Ok(n) = s.trim().parse::<usize>() {
             if n >= 1 {

@@ -7,7 +7,7 @@
 //! response time and slowdown does each task scheduler deliver, and
 //! where does the system stop being stable? Offered load is pinned by
 //! solving the Poisson mean gap from the expected job work,
-//! ρ = E[T₁] / (gap · P) (see
+//! ρ = E\[T₁\] / (gap · P) (see
 //! [`abg_workload::mean_gap_for_utilization`]); both schedulers face
 //! the *same* arrival sequence and job population at every ρ.
 

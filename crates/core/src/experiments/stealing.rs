@@ -1,7 +1,7 @@
 //! Centralized vs distributed scheduling: ABG against the
 //! work-stealing schedulers of the paper's related work (Section 8).
 //!
-//! The empirical lineage the paper cites ([2]) showed A-Steal (work
+//! The empirical lineage the paper cites (\[2\]) showed A-Steal (work
 //! stealing *with* parallelism feedback) far ahead of ABP (work
 //! stealing without feedback). This experiment reproduces that
 //! comparison inside the same two-level harness and adds the

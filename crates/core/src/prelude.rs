@@ -2,7 +2,7 @@
 
 pub use abg_alloc::{Allocator, DynamicEquiPartition, Proportional, RoundRobin, Scripted};
 pub use abg_control::{
-    AControl, AGreedy, ClosedLoop, ConstantRequest, OracleRequest, RequestCalculator,
+    AControl, AGreedy, ClosedLoop, ConstantRequest, Controller, OracleRequest, RequestCalculator,
 };
 pub use abg_dag::{
     DagBuilder, ExplicitDag, ForkJoinSpec, JobStructure, LeveledJob, ParallelismProfile, Phase,
@@ -13,8 +13,8 @@ pub use abg_sched::{
     OwnedBGreedyExecutor, PipelinedExecutor, QuantumStats,
 };
 pub use abg_sim::{
-    run_single_job, JobMetrics, JobOutcome, MultiJobOutcome, MultiJobSim, QuantumRecord,
-    SingleJobConfig, SingleJobRun,
+    run_single_job, CompletedJob, JobMetrics, JobOutcome, MultiJobOutcome, MultiJobSim, NullProbe,
+    Probe, QuantumCore, QuantumRecord, SingleJobConfig, SingleJobRun, TraceProbe,
 };
 pub use abg_workload::{paper_job, JobSet, JobSetSpec, ReleaseSchedule};
 

@@ -5,7 +5,7 @@
 //! consecutive phases are separated by a join: every chain of phase
 //! `i + 1` depends on all chains of phase `i` finishing.
 //!
-//! The difference from the barrier-per-level [`LeveledJob`] model is
+//! The difference from the barrier-per-level [`LeveledJob`](crate::LeveledJob) model is
 //! *inside* a phase: chains pipeline freely, so a job in a width-`w`
 //! phase always has exactly `w` ready tasks (one per live chain) and any
 //! allotment `a ≤ w` achieves full utilization. Under a barrier-per-level

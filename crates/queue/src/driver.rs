@@ -2,8 +2,9 @@
 //! shared quantum engine.
 //!
 //! Jobs arrive indefinitely from a stationary [`ArrivalProcess`]; each
-//! arrival is admitted into the [`QuantumEngine`] (the same stepping
-//! core behind `MultiJobSim`) and drained when it completes. The driver
+//! arrival is admitted into the generic [`QuantumCore`] (the same
+//! stepping core behind every closed driver in `abg-sim`, here with a
+//! caller-chosen [`Probe`]) and drained when it completes. The driver
 //! never materializes the job population: memory is proportional to the
 //! number of jobs *in the system*, so it can push millions of jobs
 //! through a run if the statistics call for it.
@@ -27,7 +28,7 @@ use crate::stats::{batch_means, percentiles, ConfidenceInterval, PercentileSumma
 use abg_alloc::Allocator;
 use abg_control::RequestCalculator;
 use abg_sched::JobExecutor;
-use abg_sim::{CompletedJob, QuantumEngine};
+use abg_sim::{CompletedJob, NullProbe, Probe, QuantumCore};
 use abg_workload::ArrivalProcess;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -162,18 +163,50 @@ impl OpenOutcome {
 pub fn run_open_system<A, E, C>(
     cfg: &OpenConfig,
     allocator: A,
-    mut make_executor: E,
-    mut make_calculator: C,
+    make_executor: E,
+    make_calculator: C,
 ) -> OpenOutcome
 where
     A: Allocator,
     E: FnMut(&mut StdRng, Option<Box<dyn JobExecutor + Send>>) -> Box<dyn JobExecutor + Send>,
     C: FnMut() -> Box<dyn RequestCalculator + Send>,
 {
+    run_open_system_probed(cfg, allocator, make_executor, make_calculator, NullProbe).0
+}
+
+/// [`run_open_system`] with a [`Probe`] threaded through the quantum
+/// core — the observation layer the closed drivers have always had, now
+/// available under sustained arrivals. A
+/// [`TraceProbe`](abg_sim::TraceProbe) in retaining mode captures
+/// per-job quantum traces (availability included on request), enabling
+/// trim and deprivation analysis of open-system runs; a custom probe
+/// can aggregate whatever it likes online. Returns the outcome together
+/// with the probe.
+///
+/// With [`NullProbe`] this *is* `run_open_system`: the probe
+/// monomorphizes to nothing and the loop is the uninstrumented one the
+/// pinned open-sweep fingerprint covers.
+///
+/// # Panics
+///
+/// Panics on an inconsistent configuration (see [`OpenConfig`]).
+pub fn run_open_system_probed<A, E, C, P>(
+    cfg: &OpenConfig,
+    allocator: A,
+    mut make_executor: E,
+    mut make_calculator: C,
+    probe: P,
+) -> (OpenOutcome, P)
+where
+    A: Allocator,
+    E: FnMut(&mut StdRng, Option<Box<dyn JobExecutor + Send>>) -> Box<dyn JobExecutor + Send>,
+    C: FnMut() -> Box<dyn RequestCalculator + Send>,
+    P: Probe,
+{
     cfg.validate();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut stream = cfg.arrivals.stream();
-    let mut engine = QuantumEngine::new(allocator, cfg.quantum_len);
+    let mut engine = QuantumCore::new(allocator, cfg.quantum_len, probe);
     let mut detector = SaturationDetector::new(cfg.saturation);
 
     let warmup = cfg.warmup_jobs;
@@ -194,7 +227,7 @@ where
     // buffers first). Bounded by the peak in-system job count.
     let mut pool: Vec<Box<dyn JobExecutor + Send>> = Vec::new();
 
-    loop {
+    let outcome = loop {
         // Admit everything due at (or before) the current boundary; the
         // admission id is the arrival index.
         while next_arrival <= engine.now() {
@@ -234,7 +267,7 @@ where
                 .expect("validate() guarantees one observation per batch");
             let slowdown = percentiles(&slowdowns).expect("measured_jobs > 0");
             let horizon = engine.now();
-            return OpenOutcome::Steady(SteadyStats {
+            break OpenOutcome::Steady(SteadyStats {
                 response,
                 slowdown,
                 completed: measured,
@@ -253,7 +286,7 @@ where
             })
         });
         if let Some(reason) = reason {
-            return OpenOutcome::Unstable(UnstableReport {
+            break OpenOutcome::Unstable(UnstableReport {
                 reason,
                 quanta: engine.quanta(),
                 horizon: engine.now(),
@@ -262,7 +295,8 @@ where
                 arrivals,
             });
         }
-    }
+    };
+    (outcome, engine.into_probe())
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@
 //!   test that aborts never-steady runs (ρ ≥ 1) instead of hanging.
 //!
 //! Offered load is set through
-//! [`abg_workload::mean_gap_for_utilization`]: ρ = E[T₁] / (gap · P),
+//! [`abg_workload::mean_gap_for_utilization`]: ρ = E\[T₁\] / (gap · P),
 //! so solving for the Poisson mean gap pins the sweep points.
 //!
 //! ```
@@ -62,6 +62,8 @@ pub mod driver;
 pub mod saturation;
 pub mod stats;
 
-pub use driver::{run_open_system, OpenConfig, OpenOutcome, SteadyStats, UnstableReport};
+pub use driver::{
+    run_open_system, run_open_system_probed, OpenConfig, OpenOutcome, SteadyStats, UnstableReport,
+};
 pub use saturation::{SaturationConfig, SaturationDetector, SaturationReason};
 pub use stats::{batch_means, percentiles, ConfidenceInterval, PercentileSummary};

@@ -84,3 +84,58 @@ pub trait JobExecutor {
         false
     }
 }
+
+/// Mutable references are executors too, so a driver that owns its
+/// executor can lend it to a generic engine for the duration of a run.
+/// Every method forwards — `try_reset` explicitly, because falling back
+/// to the provided default would silently disable recycling.
+impl<T: JobExecutor + ?Sized> JobExecutor for &mut T {
+    fn run_quantum(&mut self, allotment: u32, steps: u64) -> QuantumStats {
+        (**self).run_quantum(allotment, steps)
+    }
+    fn is_complete(&self) -> bool {
+        (**self).is_complete()
+    }
+    fn total_work(&self) -> u64 {
+        (**self).total_work()
+    }
+    fn total_span(&self) -> u64 {
+        (**self).total_span()
+    }
+    fn completed_work(&self) -> u64 {
+        (**self).completed_work()
+    }
+    fn elapsed_steps(&self) -> u64 {
+        (**self).elapsed_steps()
+    }
+    fn try_reset(&mut self) -> bool {
+        (**self).try_reset()
+    }
+}
+
+/// Boxed executors are executors too, so engines generic over the
+/// executor type can hold heterogeneous `Box<dyn JobExecutor + Send>`
+/// job sets.
+impl<T: JobExecutor + ?Sized> JobExecutor for Box<T> {
+    fn run_quantum(&mut self, allotment: u32, steps: u64) -> QuantumStats {
+        (**self).run_quantum(allotment, steps)
+    }
+    fn is_complete(&self) -> bool {
+        (**self).is_complete()
+    }
+    fn total_work(&self) -> u64 {
+        (**self).total_work()
+    }
+    fn total_span(&self) -> u64 {
+        (**self).total_span()
+    }
+    fn completed_work(&self) -> u64 {
+        (**self).completed_work()
+    }
+    fn elapsed_steps(&self) -> u64 {
+        (**self).elapsed_steps()
+    }
+    fn try_reset(&mut self) -> bool {
+        (**self).try_reset()
+    }
+}

@@ -228,7 +228,7 @@ impl ReadyQueue for BreadthFirstQueue {
 
 /// Plain-greedy order: FIFO over readiness time, ignoring levels ("any
 /// `a(q)` ready tasks"). This is the unaugmented greedy scheduler of
-/// Graham [10] used as a measurement baseline.
+/// Graham \[10\] used as a measurement baseline.
 #[derive(Debug, Default)]
 pub struct FifoQueue {
     queue: VecDeque<TaskId>,

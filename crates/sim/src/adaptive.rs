@@ -6,39 +6,55 @@
 //! overhead: short quanta track parallelism changes quickly but
 //! renegotiate processors constantly; long quanta amortize the
 //! renegotiation but stretch the one-quantum lag a feedback scheduler
-//! pays at every parallelism transition. A [`QuantumPolicy`] lets the
-//! engine pick each quantum's length online; [`AdaptiveQuantum`]
-//! implements the natural rule: lengthen while the request is stable,
-//! shrink as soon as it moves.
+//! pays at every parallelism transition.
+//!
+//! Pacing rides on the unified [`Controller`] trait: a controller's
+//! [`next_quantum_len`](Controller::next_quantum_len) hook lets it pick
+//! each quantum's length online, so the *same* generic core drives
+//! fixed and adaptive quanta. [`Paced`] wraps any request calculator
+//! with an [`AdaptiveQuantum`] pacer implementing the natural rule —
+//! lengthen while the request is stable, shrink as soon as it moves —
+//! and [`FixedQuantum`] is the degenerate pacer that never moves.
+//!
+//! (The pre-unification `QuantumPolicy` trait, which duplicated the
+//! request bookkeeping outside the controller, is gone; `Paced`
+//! subsumes it.)
 
 use crate::single::{SingleJobConfig, SingleJobRun};
-use crate::trace::QuantumRecord;
 use abg_alloc::Allocator;
-use abg_control::RequestCalculator;
-use abg_sched::JobExecutor;
+use abg_control::Controller;
+use abg_sched::{JobExecutor, QuantumStats};
 use serde::{Deserialize, Serialize};
 
-/// Chooses the length of each scheduling quantum.
-pub trait QuantumPolicy {
-    /// Length of the first quantum.
-    fn initial_len(&self) -> u64;
-
-    /// Observes the quantum that just ended (its statistics plus the
-    /// standing request before and after the feedback update) and
-    /// returns the next quantum's length.
-    fn observe(&mut self, record: &QuantumRecord, next_request: f64) -> u64;
-}
-
-/// The conventional fixed-length quantum.
+/// The conventional fixed-length quantum, as a pacer: wrap a controller
+/// with [`FixedQuantum::pace`] to run it at this length regardless of
+/// the engine default.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FixedQuantum(pub u64);
 
-impl QuantumPolicy for FixedQuantum {
-    fn initial_len(&self) -> u64 {
-        self.0
+impl FixedQuantum {
+    /// Wraps a request calculator into a controller running every
+    /// quantum at this fixed length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is zero.
+    pub fn pace<C: Controller>(self, inner: C) -> Paced<C> {
+        AdaptiveQuantum::from(self).pace(inner)
     }
-    fn observe(&mut self, _record: &QuantumRecord, _next_request: f64) -> u64 {
-        self.0
+}
+
+impl From<FixedQuantum> for AdaptiveQuantum {
+    /// The degenerate pacer `min = max = L`: the band never matters and
+    /// the length never moves.
+    fn from(fixed: FixedQuantum) -> Self {
+        assert!(fixed.0 > 0, "quantum length must be positive");
+        Self {
+            min: fixed.0,
+            max: fixed.0,
+            stability_band: f64::INFINITY,
+            len: fixed.0,
+        }
     }
 }
 
@@ -62,7 +78,7 @@ pub struct AdaptiveQuantum {
 }
 
 impl AdaptiveQuantum {
-    /// Creates a policy starting from `min`.
+    /// Creates a pacer starting from `min`.
     ///
     /// # Panics
     ///
@@ -80,16 +96,18 @@ impl AdaptiveQuantum {
             len: min,
         }
     }
-}
 
-impl QuantumPolicy for AdaptiveQuantum {
-    fn initial_len(&self) -> u64 {
+    /// The current quantum length.
+    pub fn current_len(&self) -> u64 {
         self.len
     }
 
-    fn observe(&mut self, record: &QuantumRecord, next_request: f64) -> u64 {
-        let prev = record.request.max(1.0);
-        let relative_change = (next_request - record.request).abs() / prev;
+    /// Feeds one feedback update — the request that drove the quantum
+    /// and the request the controller produced from it — and returns the
+    /// next quantum's length: doubled if the relative change stayed
+    /// within the stability band, halved otherwise.
+    pub fn update(&mut self, prev_request: f64, next_request: f64) -> u64 {
+        let relative_change = (next_request - prev_request).abs() / prev_request.max(1.0);
         if relative_change <= self.stability_band {
             self.len = (self.len * 2).min(self.max);
         } else {
@@ -97,90 +115,99 @@ impl QuantumPolicy for AdaptiveQuantum {
         }
         self.len
     }
+
+    /// Wraps a request calculator into a [`Paced`] controller driven by
+    /// this pacer.
+    pub fn pace<C: Controller>(self, inner: C) -> Paced<C> {
+        Paced { inner, pacer: self }
+    }
 }
 
-/// Like [`crate::run_single_job`], but the quantum length follows a
-/// [`QuantumPolicy`]. Returns the run plus the number of quanta whose
-/// allotment differed from the previous one (a proxy for reallocation
-/// overhead, which the paper's simulations ignore but its motivation
-/// cares about).
+/// A request calculator paced by an [`AdaptiveQuantum`]: the unified
+/// [`Controller`] that merges the old request/quantum-length split.
+///
+/// The request side forwards to the wrapped calculator untouched; after
+/// every observation the pacer sees the (previous, next) request pair
+/// and resizes the quantum, which the engine picks up through
+/// [`Controller::next_quantum_len`]. Works in every driver — single
+/// job, closed multi-job, open system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Paced<C> {
+    inner: C,
+    pacer: AdaptiveQuantum,
+}
+
+impl<C> Paced<C> {
+    /// The wrapped request calculator.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// The pacer state (current quantum length, bounds, band).
+    pub fn pacer(&self) -> &AdaptiveQuantum {
+        &self.pacer
+    }
+}
+
+impl<C: Controller> Controller for Paced<C> {
+    fn initial_request(&self) -> f64 {
+        self.inner.initial_request()
+    }
+
+    fn observe(&mut self, stats: &QuantumStats) -> f64 {
+        // `current_request` is the request that drove this quantum —
+        // exactly the "previous" side of the pacer's stability test.
+        let prev = self.inner.current_request();
+        let next = self.inner.observe(stats);
+        self.pacer.update(prev, next);
+        next
+    }
+
+    fn current_request(&self) -> f64 {
+        self.inner.current_request()
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn initial_quantum_len(&self, _default_len: u64) -> u64 {
+        self.pacer.len
+    }
+
+    fn next_quantum_len(&mut self, _default_len: u64) -> u64 {
+        self.pacer.len
+    }
+}
+
+/// Like [`crate::run_single_job`] (and now a trivial delegation to it —
+/// the controller itself carries the pacing), returning the run plus the
+/// number of quanta whose allotment differed from the previous one (a
+/// proxy for reallocation overhead, which the paper's simulations ignore
+/// but its motivation cares about).
+///
+/// Pass a [`Paced`] controller (e.g.
+/// `AdaptiveQuantum::new(25, 400, 0.05).pace(AControl::new(0.2))`) for
+/// adaptive quanta, or any plain calculator for the fixed-length
+/// behaviour of the configured `L`.
 ///
 /// # Panics
 ///
-/// Panics if the policy's `max_quanta` safety valve (from `config`)
-/// trips.
-pub fn run_single_job_adaptive<E, C, A, Q>(
+/// Panics if the `max_quanta` safety valve (from `config`) trips.
+pub fn run_single_job_adaptive<E, C, A>(
     executor: &mut E,
-    calculator: &mut C,
+    controller: &mut C,
     allocator: &mut A,
-    policy: &mut Q,
     config: SingleJobConfig,
 ) -> (SingleJobRun, u64)
 where
     E: JobExecutor,
-    C: RequestCalculator,
+    C: Controller,
     A: Allocator + Clone,
-    Q: QuantumPolicy,
 {
-    let mut request = calculator.initial_request();
-    let mut len = policy.initial_len();
-    let mut running_time = 0u64;
-    let mut waste = 0u64;
-    let mut quanta = 0u64;
-    let mut reallocations = 0u64;
-    let mut prev_allotment: Option<u32> = None;
-    let mut trace = Vec::new();
-    // Reused across quanta; keeps the loop allocation-free at steady
-    // state like `run_single_job`.
-    let mut allotments: Vec<u32> = Vec::with_capacity(1);
-
-    while !executor.is_complete() {
-        assert!(
-            quanta < config.max_quanta,
-            "job did not finish within {} quanta (livelock?)",
-            config.max_quanta
-        );
-        allocator.allocate_into(std::slice::from_ref(&request), &mut allotments);
-        let allotment = allotments[0];
-        if prev_allotment.is_some_and(|p| p != allotment) {
-            reallocations += 1;
-        }
-        prev_allotment = Some(allotment);
-        let stats = executor.run_quantum(allotment, len);
-        quanta += 1;
-        waste += stats.waste();
-        running_time += if stats.completed {
-            stats.steps_worked
-        } else {
-            len
-        };
-        let record = QuantumRecord {
-            index: quanta as u32,
-            start_step: running_time.saturating_sub(len),
-            request,
-            allotment,
-            availability: None,
-            stats,
-        };
-        request = calculator.observe(&stats);
-        len = policy.observe(&record, request);
-        if config.record_trace {
-            trace.push(record);
-        }
-    }
-
-    (
-        SingleJobRun {
-            running_time,
-            waste,
-            quanta,
-            reallocations,
-            work: executor.total_work(),
-            span: executor.total_span(),
-            trace,
-        },
-        reallocations,
-    )
+    let run = crate::run_single_job(executor, controller, allocator, config);
+    let reallocations = run.reallocations;
+    (run, reallocations)
 }
 
 #[cfg(test)]
@@ -202,7 +229,7 @@ mod tests {
     }
 
     #[test]
-    fn fixed_policy_reproduces_fixed_engine() {
+    fn fixed_pacer_reproduces_fixed_engine() {
         let job = forkjoin();
         let mut a = PipelinedExecutor::new(&job);
         let mut c = AControl::new(0.2);
@@ -210,34 +237,28 @@ mod tests {
         let fixed = crate::run_single_job(&mut a, &mut c, &mut al, SingleJobConfig::new(50));
 
         let mut b = PipelinedExecutor::new(&job);
-        let mut c2 = AControl::new(0.2);
+        let mut c2 = FixedQuantum(50).pace(AControl::new(0.2));
         let mut al2 = Scripted::ample(64);
-        let (adaptive, _) = run_single_job_adaptive(
-            &mut b,
-            &mut c2,
-            &mut al2,
-            &mut FixedQuantum(50),
-            SingleJobConfig::new(50),
-        );
+        let (adaptive, _) =
+            run_single_job_adaptive(&mut b, &mut c2, &mut al2, SingleJobConfig::new(50));
         assert_eq!(fixed.running_time, adaptive.running_time);
         assert_eq!(fixed.waste, adaptive.waste);
         assert_eq!(fixed.quanta, adaptive.quanta);
     }
 
     #[test]
-    fn adaptive_policy_uses_fewer_quanta_on_stable_jobs() {
+    fn adaptive_pacer_uses_fewer_quanta_on_stable_jobs() {
         let job = PhasedJob::constant(8, 4000);
         let run_with = |adaptive: bool| {
             let mut ex = PipelinedExecutor::new(&job);
-            let mut c = AControl::new(0.2);
             let mut al = Scripted::ample(64);
-            if adaptive {
-                let mut p = AdaptiveQuantum::new(25, 400, 0.05);
-                run_single_job_adaptive(&mut ex, &mut c, &mut al, &mut p, SingleJobConfig::new(25))
+            let pacer = if adaptive {
+                AdaptiveQuantum::new(25, 400, 0.05)
             } else {
-                let mut p = FixedQuantum(25);
-                run_single_job_adaptive(&mut ex, &mut c, &mut al, &mut p, SingleJobConfig::new(25))
-            }
+                AdaptiveQuantum::from(FixedQuantum(25))
+            };
+            let mut c = pacer.pace(AControl::new(0.2));
+            run_single_job_adaptive(&mut ex, &mut c, &mut al, SingleJobConfig::new(25))
         };
         let (fixed_run, _) = run_with(false);
         let (adaptive_run, _) = run_with(true);
@@ -252,46 +273,50 @@ mod tests {
     }
 
     #[test]
-    fn adaptive_policy_shrinks_on_transitions() {
+    fn adaptive_pacer_shrinks_on_transitions() {
         let mut p = AdaptiveQuantum::new(10, 160, 0.05);
-        let record = |request: f64| QuantumRecord {
-            index: 1,
-            start_step: 0,
-            request,
-            allotment: 8,
-            availability: None,
-            stats: abg_sched::QuantumStats {
-                allotment: 8,
-                quantum_len: 10,
-                steps_worked: 10,
-                work: 80,
-                span: 10.0,
-                completed: false,
-            },
-        };
         // Stable feedback: grows 10 -> 20 -> 40.
-        assert_eq!(p.observe(&record(8.0), 8.0), 20);
-        assert_eq!(p.observe(&record(8.0), 8.1), 40);
+        assert_eq!(p.update(8.0, 8.0), 20);
+        assert_eq!(p.update(8.0, 8.1), 40);
         // A big request move: collapses 40 -> 20 -> 10 -> 10.
-        assert_eq!(p.observe(&record(8.0), 2.0), 20);
-        assert_eq!(p.observe(&record(2.0), 8.0), 10);
-        assert_eq!(p.observe(&record(8.0), 2.0), 10);
+        assert_eq!(p.update(8.0, 2.0), 20);
+        assert_eq!(p.update(2.0, 8.0), 10);
+        assert_eq!(p.update(8.0, 2.0), 10);
     }
 
     #[test]
     fn reallocation_count_tracks_allotment_changes() {
         let job = PhasedJob::constant(4, 200);
         let mut ex = PipelinedExecutor::new(job);
-        let mut c = AControl::new(0.0); // one-step convergence: 1 then 4
+        // Rate 0: one-step convergence, requests 1 then 4.
+        let mut c = FixedQuantum(20).pace(AControl::new(0.0));
         let mut al = Scripted::ample(16);
-        let (_, reallocs) = run_single_job_adaptive(
-            &mut ex,
-            &mut c,
-            &mut al,
-            &mut FixedQuantum(20),
-            SingleJobConfig::new(20),
-        );
+        let (_, reallocs) =
+            run_single_job_adaptive(&mut ex, &mut c, &mut al, SingleJobConfig::new(20));
         assert_eq!(reallocs, 1, "only the 1 -> 4 jump changes the allotment");
+    }
+
+    #[test]
+    fn paced_controller_works_in_the_multi_job_engine() {
+        // The merged trait means pacing is no longer single-job only:
+        // a paced job shortens shared quanta (the engine runs at the
+        // minimum any live controller asks for).
+        use abg_alloc::DynamicEquiPartition;
+        let mut sim = crate::MultiJobSim::new(DynamicEquiPartition::new(32), 40);
+        sim.add_job(
+            Box::new(PipelinedExecutor::new(forkjoin())),
+            Box::new(AdaptiveQuantum::new(10, 160, 0.05).pace(AControl::new(0.2))),
+            0,
+        );
+        sim.add_job(
+            Box::new(PipelinedExecutor::new(forkjoin())),
+            Box::new(AControl::new(0.2)),
+            0,
+        );
+        let out = sim.run();
+        assert_eq!(out.jobs.len(), 2);
+        let total_work: u64 = out.jobs.iter().map(|j| j.work).sum();
+        assert_eq!(total_work, 2 * forkjoin().work());
     }
 
     #[test]

@@ -1,92 +1,45 @@
-//! The reusable quantum-synchronous stepping core of the two-level
-//! simulator.
+//! The boxed, heterogeneous configuration of the generic quantum core.
 //!
-//! [`MultiJobSim`](crate::MultiJobSim) historically owned the whole
-//! per-quantum loop (live-set selection, request gathering, allocation,
-//! task-scheduler stepping, waste/trace accounting), which welded it to
-//! a *closed* system: a fixed job vector, run to drain. The open-system
-//! driver in `abg-queue` needs the same loop over an *unbounded* arrival
-//! stream, so the loop lives here as [`QuantumEngine`]: jobs are
-//! admitted at any time (including mid-run), each quantum is stepped
-//! explicitly, and completed jobs are drained out of the engine so a
-//! sustained-arrival simulation runs in memory proportional to the
+//! [`QuantumEngine`] is the dynamic-dispatch face of
+//! [`QuantumCore`]: jobs are `Box<dyn JobExecutor +
+//! Send>` / `Box<dyn Controller + Send>` pairs, so one engine can hold a
+//! heterogeneous job set — the shape both
+//! [`MultiJobSim`](crate::MultiJobSim) (closed system, run to drain) and
+//! the open-system driver in `abg-queue` (unbounded arrival stream)
+//! need. Jobs are admitted at any time (including mid-run), each
+//! quantum is stepped explicitly, and completed jobs are drained out so
+//! a sustained-arrival simulation runs in memory proportional to the
 //! number of jobs *in the system*, not the number ever submitted.
 //!
 //! The engine preserves the paper's accounting exactly: time is
 //! quantum-synchronous, a job released mid-quantum joins at the next
 //! boundary, and a job finishing mid-quantum holds its allotment until
-//! the boundary (counted as waste). `MultiJobSim` is now a thin
-//! closed-system shell over this engine; the sweep-fingerprint suite
-//! pins the delegation bit-identical to the pre-refactor loop.
+//! the boundary (counted as waste). The sweep-fingerprint suite pins
+//! the delegation to the core bit-identical to the pre-refactor loop.
 
-use crate::trace::QuantumRecord;
+use crate::probe::TraceProbe;
+pub use crate::quantum_core::CompletedJob;
+use crate::quantum_core::QuantumCore;
 use abg_alloc::Allocator;
 use abg_control::RequestCalculator;
 use abg_sched::JobExecutor;
 
-/// One admitted job inside the engine.
-struct Slot {
-    id: u64,
-    executor: Box<dyn JobExecutor + Send>,
-    calculator: Box<dyn RequestCalculator + Send>,
-    release_step: u64,
-    request: f64,
-    completion: Option<u64>,
-    waste: u64,
-    quanta: u64,
-    trace: Vec<QuantumRecord>,
-}
-
-/// A job drained from the engine after completing, with everything a
-/// driver needs to account for it.
-#[derive(Debug)]
-pub struct CompletedJob {
-    /// Admission-order identifier (0-based, monotone across the run).
-    pub id: u64,
-    /// Release (arrival) step as submitted.
-    pub release: u64,
-    /// Absolute completion step.
-    pub completion: u64,
-    /// Work `T1` of the job.
-    pub work: u64,
-    /// Critical-path length `T∞` of the job.
-    pub span: u64,
-    /// Processor cycles wasted on this job.
-    pub waste: u64,
-    /// Quanta in which the job was live.
-    pub quanta: u64,
-    /// Per-quantum trace (empty unless tracing is on).
-    pub trace: Vec<QuantumRecord>,
-}
-
-impl CompletedJob {
-    /// Response time: completion minus release.
-    pub fn response_time(&self) -> u64 {
-        self.completion - self.release
-    }
-}
-
-/// The quantum-synchronous stepping core: a machine-wide allocator, a
-/// set of in-system jobs, and one explicit-step API.
+/// The quantum-synchronous stepping engine over boxed jobs: a
+/// machine-wide allocator, a set of in-system jobs, and one
+/// explicit-step API.
 ///
 /// Drivers call [`admit`](QuantumEngine::admit) whenever a job enters
 /// the system and [`step_quantum`](QuantumEngine::step_quantum) once per
 /// quantum; completed jobs are moved out into the caller's buffer, so
 /// the engine only ever holds the jobs currently in the system.
+///
+/// This is a thin shell over [`QuantumCore`] instantiated with boxed
+/// executors/controllers and a [`TraceProbe`] (disabled unless
+/// [`with_traces`](QuantumEngine::with_traces) is called, in which case
+/// each drained job carries its per-quantum trace).
 pub struct QuantumEngine<A: Allocator> {
-    allocator: A,
-    quantum_len: u64,
-    now: u64,
-    quanta: u64,
-    record_traces: bool,
-    next_id: u64,
-    slots: Vec<Slot>,
-    // Scratch buffers reused across quanta: the steady-state loop does
-    // no heap allocation beyond executor internals.
-    live: Vec<usize>,
-    requests: Vec<f64>,
-    allotments: Vec<u32>,
-    retained: Vec<Slot>,
+    core:
+        QuantumCore<Box<dyn JobExecutor + Send>, Box<dyn RequestCalculator + Send>, A, TraceProbe>,
 }
 
 impl<A: Allocator> QuantumEngine<A> {
@@ -96,27 +49,16 @@ impl<A: Allocator> QuantumEngine<A> {
     ///
     /// Panics if `quantum_len == 0`.
     pub fn new(allocator: A, quantum_len: u64) -> Self {
-        assert!(quantum_len > 0, "quantum length must be positive");
         Self {
-            allocator,
-            quantum_len,
-            now: 0,
-            quanta: 0,
-            record_traces: false,
-            next_id: 0,
-            slots: Vec::new(),
-            live: Vec::new(),
-            requests: Vec::new(),
-            allotments: Vec::new(),
-            retained: Vec::new(),
+            core: QuantumCore::new(allocator, quantum_len, TraceProbe::disabled()),
         }
     }
 
-    /// Records a [`QuantumRecord`] per job per quantum (returned in
-    /// [`CompletedJob::trace`]). Costs memory proportional to in-system
-    /// jobs × their live quanta.
+    /// Records a [`QuantumRecord`](crate::QuantumRecord) per job per
+    /// quantum (returned in [`CompletedJob::trace`]). Costs memory
+    /// proportional to in-system jobs × their live quanta.
     pub fn with_traces(mut self) -> Self {
-        self.record_traces = true;
+        *self.core.probe_mut() = TraceProbe::new();
         self
     }
 
@@ -129,51 +71,37 @@ impl<A: Allocator> QuantumEngine<A> {
         calculator: Box<dyn RequestCalculator + Send>,
         release_step: u64,
     ) -> u64 {
-        let id = self.next_id;
-        self.next_id += 1;
-        let request = calculator.initial_request();
-        self.slots.push(Slot {
-            id,
-            executor,
-            calculator,
-            release_step,
-            request,
-            completion: None,
-            waste: 0,
-            quanta: 0,
-            trace: Vec::new(),
-        });
-        id
+        self.core.admit(executor, calculator, release_step)
     }
 
     /// The current quantum boundary (absolute step).
     pub fn now(&self) -> u64 {
-        self.now
+        self.core.now()
     }
 
     /// Quanta executed so far (idle skips do not count).
     pub fn quanta(&self) -> u64 {
-        self.quanta
+        self.core.quanta()
     }
 
     /// The configured quantum length `L`.
     pub fn quantum_len(&self) -> u64 {
-        self.quantum_len
+        self.core.quantum_len()
     }
 
     /// Jobs currently in the system (released or pending release).
     pub fn jobs_in_system(&self) -> usize {
-        self.slots.len()
+        self.core.jobs_in_system()
     }
 
     /// Whether any in-system job is live at the current boundary.
     pub fn any_live(&self) -> bool {
-        self.slots.iter().any(|s| s.release_step <= self.now)
+        self.core.any_live()
     }
 
     /// Earliest release step among in-system jobs, if any.
     pub fn next_release(&self) -> Option<u64> {
-        self.slots.iter().map(|s| s.release_step).min()
+        self.core.next_release()
     }
 
     /// Advances the clock over an idle machine: jumps to the first
@@ -185,9 +113,7 @@ impl<A: Allocator> QuantumEngine<A> {
     /// Panics (debug) if a job is already live — skipping over runnable
     /// work would corrupt the schedule.
     pub fn skip_idle_until(&mut self, release: u64) {
-        debug_assert!(!self.any_live(), "skip_idle_until with live jobs");
-        let l = self.quantum_len;
-        self.now = release.div_ceil(l).max(self.now / l + 1) * l;
+        self.core.skip_idle_until(release)
     }
 
     /// Runs one quantum at the current boundary over every live job:
@@ -202,7 +128,7 @@ impl<A: Allocator> QuantumEngine<A> {
     /// Panics if no job is live — callers decide how to skip idle time
     /// (see [`skip_idle_until`](QuantumEngine::skip_idle_until)).
     pub fn step_quantum(&mut self, completed: &mut Vec<CompletedJob>) {
-        self.step_quantum_inner(completed, None);
+        self.core.step_quantum(completed)
     }
 
     /// [`step_quantum`](QuantumEngine::step_quantum), but hands the
@@ -217,89 +143,7 @@ impl<A: Allocator> QuantumEngine<A> {
         completed: &mut Vec<CompletedJob>,
         reclaimed: &mut Vec<Box<dyn JobExecutor + Send>>,
     ) {
-        self.step_quantum_inner(completed, Some(reclaimed));
-    }
-
-    fn step_quantum_inner(
-        &mut self,
-        completed: &mut Vec<CompletedJob>,
-        mut reclaimed: Option<&mut Vec<Box<dyn JobExecutor + Send>>>,
-    ) {
-        let l = self.quantum_len;
-        let now = self.now;
-        self.live.clear();
-        self.live.extend(
-            self.slots
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| s.release_step <= now)
-                .map(|(i, _)| i),
-        );
-        assert!(
-            !self.live.is_empty(),
-            "step_quantum with no live jobs (use skip_idle_until)"
-        );
-        self.requests.clear();
-        for k in 0..self.live.len() {
-            let i = self.live[k];
-            self.requests.push(self.slots[i].request);
-        }
-        self.allocator
-            .allocate_into(&self.requests, &mut self.allotments);
-        debug_assert_eq!(self.allotments.len(), self.live.len());
-        let mut finished = 0usize;
-        for k in 0..self.live.len() {
-            let i = self.live[k];
-            let allotment = self.allotments[k];
-            let job = &mut self.slots[i];
-            let stats = job.executor.run_quantum(allotment, l);
-            job.quanta += 1;
-            job.waste += stats.waste();
-            if stats.completed {
-                job.completion = Some(now + stats.steps_worked);
-                finished += 1;
-            }
-            if self.record_traces {
-                job.trace.push(QuantumRecord {
-                    index: job.quanta as u32,
-                    start_step: now,
-                    request: job.request,
-                    allotment,
-                    availability: None,
-                    stats,
-                });
-            }
-            job.request = job.calculator.observe(&stats);
-        }
-        if finished > 0 {
-            // Selective drain preserving admission order (allocation
-            // order — and with it DEQ's rotating tie-break state — must
-            // not depend on who finished).
-            self.retained.clear();
-            for slot in self.slots.drain(..) {
-                match slot.completion {
-                    Some(step) => {
-                        completed.push(CompletedJob {
-                            id: slot.id,
-                            release: slot.release_step,
-                            completion: step,
-                            work: slot.executor.total_work(),
-                            span: slot.executor.total_span(),
-                            waste: slot.waste,
-                            quanta: slot.quanta,
-                            trace: slot.trace,
-                        });
-                        if let Some(pool) = reclaimed.as_deref_mut() {
-                            pool.push(slot.executor);
-                        }
-                    }
-                    None => self.retained.push(slot),
-                }
-            }
-            std::mem::swap(&mut self.slots, &mut self.retained);
-        }
-        self.now = now + l;
-        self.quanta += 1;
+        self.core.step_quantum_reclaiming(completed, reclaimed)
     }
 }
 

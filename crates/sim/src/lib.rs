@@ -15,15 +15,18 @@
 //!   shared allocator such as DEQ (Figure 6), with release times and
 //!   global metrics (makespan, mean response time).
 //!
-//! The per-quantum stepping loop behind [`MultiJobSim`] lives in
-//! [`engine::QuantumEngine`], a reusable core that admits jobs at any
-//! time and drains them as they complete — the open-system
+//! Every driver is a thin configuration of one generic loop:
+//! [`quantum_core::QuantumCore`], parameterized over the executor,
+//! controller, allocator and a monomorphized [`probe::Probe`] observer
+//! ([`NullProbe`] compiles the instrumentation away). The boxed
+//! heterogeneous face is [`engine::QuantumEngine`], which admits jobs at
+//! any time and drains them as they complete — the open-system
 //! (sustained-arrival) driver in `abg-queue` runs indefinitely on the
-//! same loop.
+//! same core, probes included.
 //!
 //! [`trim`] implements the paper's trim analysis (Section 6.1),
 //! [`metrics`] the derived per-run measurements, and [`adaptive`] the
-//! quantum-length policies of the paper's future-work section (plus the
+//! paced controllers of the paper's future-work section (plus the
 //! reallocation-overhead accounting its motivation calls for).
 
 #![forbid(unsafe_code)]
@@ -33,14 +36,18 @@ pub mod adaptive;
 pub mod engine;
 pub mod metrics;
 pub mod multi;
+pub mod probe;
+pub mod quantum_core;
 pub mod single;
 pub mod trace;
 pub mod trim;
 
-pub use adaptive::{run_single_job_adaptive, AdaptiveQuantum, FixedQuantum, QuantumPolicy};
-pub use engine::{CompletedJob, QuantumEngine};
+pub use adaptive::{run_single_job_adaptive, AdaptiveQuantum, FixedQuantum, Paced};
+pub use engine::QuantumEngine;
 pub use metrics::{JobMetrics, QuantumClass};
 pub use multi::{JobOutcome, MultiJobOutcome, MultiJobSim};
+pub use probe::{NullProbe, Probe, TraceProbe};
+pub use quantum_core::{CompletedJob, QuantumCore};
 pub use single::{run_single_job, SingleJobConfig, SingleJobRun};
 pub use trace::{trace_to_csv, QuantumRecord};
-pub use trim::trimmed_availability;
+pub use trim::{mean_availability, trimmed_availability};

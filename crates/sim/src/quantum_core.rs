@@ -1,0 +1,520 @@
+//! The one generic quantum core behind every simulation driver.
+//!
+//! The paper's single-job runs, the adaptive-quantum variant, the
+//! closed multiprogrammed sets and the open-system arrival stream are
+//! all the *same* two-level loop — at every quantum boundary each live
+//! job's controller reports `d(q)`, the OS allocator grants
+//! `a(q) = min(ceil d(q), p(q))`, and each job's task scheduler burns
+//! the quantum and measures the statistics that drive the feedback.
+//! [`QuantumCore`] is that loop, written once and made generic over all
+//! four roles:
+//!
+//! * `E`: the per-job task scheduler ([`JobExecutor`]) — a concrete
+//!   executor for monomorphized single-job runs, `Box<dyn JobExecutor +
+//!   Send>` for heterogeneous job sets;
+//! * `C`: the per-job [`Controller`] — request feedback plus an
+//!   optional say in the quantum length (paced controllers);
+//! * `A`: the machine-wide [`Allocator`];
+//! * `P`: a [`Probe`](crate::Probe) observing the loop —
+//!   [`NullProbe`](crate::NullProbe) compiles the instrumentation away
+//!   entirely.
+//!
+//! The four public drivers — [`run_single_job`](crate::run_single_job),
+//! [`run_single_job_adaptive`](crate::run_single_job_adaptive),
+//! [`MultiJobSim`](crate::MultiJobSim) via
+//! [`QuantumEngine`](crate::QuantumEngine), and `abg_queue`'s
+//! `run_open_system` — are thin configurations of this core; the
+//! sweep/open fingerprint suites pin each of them bit-identical to the
+//! pre-unification loops.
+//!
+//! Accounting rules (all preserved from the paper): time is
+//! quantum-synchronous; a job released mid-quantum joins at the next
+//! boundary; a job finishing mid-quantum holds its allotment to the
+//! boundary (counted as waste); a quantum whose allotment differs from
+//! the job's previous one burns
+//! [`reallocation_overhead`](QuantumCore::with_reallocation_overhead)
+//! steps off the front (held cycles count as waste). Each quantum runs
+//! at the *minimum* length any live controller asks for, so paced and
+//! fixed-quantum jobs can share a machine.
+
+use crate::trace::QuantumRecord;
+use abg_alloc::Allocator;
+use abg_control::Controller;
+use abg_sched::JobExecutor;
+
+/// One admitted job inside the core.
+struct Slot<E, C> {
+    id: u64,
+    executor: E,
+    controller: C,
+    release_step: u64,
+    request: f64,
+    next_len: u64,
+    completion: Option<u64>,
+    waste: u64,
+    quanta: u64,
+    reallocations: u64,
+    prev_allotment: Option<u32>,
+}
+
+/// A job drained from the core after completing, with everything a
+/// driver needs to account for it.
+#[derive(Debug)]
+pub struct CompletedJob {
+    /// Admission-order identifier (0-based, monotone across the run).
+    pub id: u64,
+    /// Release (arrival) step as submitted.
+    pub release: u64,
+    /// Absolute completion step.
+    pub completion: u64,
+    /// Work `T1` of the job.
+    pub work: u64,
+    /// Critical-path length `T∞` of the job.
+    pub span: u64,
+    /// Processor cycles wasted on this job.
+    pub waste: u64,
+    /// Quanta in which the job was live.
+    pub quanta: u64,
+    /// Quanta whose allotment differed from the job's previous one.
+    pub reallocations: u64,
+    /// Per-quantum trace (empty unless a trace-collecting probe filled
+    /// it in, e.g. [`TraceProbe`](crate::TraceProbe)).
+    pub trace: Vec<QuantumRecord>,
+}
+
+impl CompletedJob {
+    /// Response time: completion minus release.
+    pub fn response_time(&self) -> u64 {
+        self.completion - self.release
+    }
+}
+
+/// The generic quantum-synchronous stepping core: a machine-wide
+/// allocator, a set of in-system jobs (each an executor + controller
+/// pair), a probe, and one explicit-step API.
+///
+/// Drivers call [`admit`](QuantumCore::admit) whenever a job enters the
+/// system and [`step_quantum`](QuantumCore::step_quantum) once per
+/// quantum; completed jobs are moved out into the caller's buffer, so
+/// the core only ever holds the jobs currently in the system.
+pub struct QuantumCore<E, C, A, P> {
+    allocator: A,
+    probe: P,
+    default_len: u64,
+    now: u64,
+    quanta: u64,
+    record_availability: bool,
+    reallocation_overhead: u64,
+    next_id: u64,
+    slots: Vec<Slot<E, C>>,
+    // Scratch buffers reused across quanta: the steady-state loop does
+    // no heap allocation beyond executor internals.
+    live: Vec<usize>,
+    requests: Vec<f64>,
+    allotments: Vec<u32>,
+    availabilities: Vec<u32>,
+    retained: Vec<Slot<E, C>>,
+}
+
+impl<E, C, A, P> QuantumCore<E, C, A, P>
+where
+    E: JobExecutor,
+    C: Controller,
+    A: Allocator,
+    P: crate::Probe,
+{
+    /// Creates a core over the given allocator, default quantum length
+    /// and probe. Controllers may shorten or lengthen individual quanta
+    /// via [`Controller::next_quantum_len`]; `quantum_len` is the
+    /// default they are offered and the grid idle skips land on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum_len == 0`.
+    pub fn new(allocator: A, quantum_len: u64, probe: P) -> Self {
+        assert!(quantum_len > 0, "quantum length must be positive");
+        Self {
+            allocator,
+            probe,
+            default_len: quantum_len,
+            now: 0,
+            quanta: 0,
+            record_availability: false,
+            reallocation_overhead: 0,
+            next_id: 0,
+            slots: Vec::new(),
+            live: Vec::new(),
+            requests: Vec::new(),
+            allotments: Vec::new(),
+            availabilities: Vec::new(),
+            retained: Vec::new(),
+        }
+    }
+
+    /// Charges this many steps off the front of every quantum whose
+    /// allotment differs from the job's previous one (capped at the
+    /// quantum length); the held cycles count as waste.
+    pub fn with_reallocation_overhead(mut self, steps: u64) -> Self {
+        self.reallocation_overhead = steps;
+        self
+    }
+
+    /// Queries the allocator for per-job availabilities `p(q)` each
+    /// quantum (before allocating, as stateful policies require) and
+    /// passes them to the probe. Equivalent to a probe whose
+    /// [`wants_availability`](crate::Probe::wants_availability) is true.
+    pub fn with_availability_recording(mut self) -> Self {
+        self.record_availability = true;
+        self
+    }
+
+    /// Admits a job released at `release_step`, returning its admission
+    /// id. The job participates from the first quantum boundary at or
+    /// after its release.
+    pub fn admit(&mut self, executor: E, controller: C, release_step: u64) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = controller.initial_request();
+        let next_len = controller.initial_quantum_len(self.default_len);
+        self.slots.push(Slot {
+            id,
+            executor,
+            controller,
+            release_step,
+            request,
+            next_len,
+            completion: None,
+            waste: 0,
+            quanta: 0,
+            reallocations: 0,
+            prev_allotment: None,
+        });
+        id
+    }
+
+    /// The current quantum boundary (absolute step).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Quanta executed so far (idle skips do not count).
+    pub fn quanta(&self) -> u64 {
+        self.quanta
+    }
+
+    /// The default quantum length `L`.
+    pub fn quantum_len(&self) -> u64 {
+        self.default_len
+    }
+
+    /// Jobs currently in the system (released or pending release).
+    pub fn jobs_in_system(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether any in-system job is live at the current boundary.
+    pub fn any_live(&self) -> bool {
+        self.slots.iter().any(|s| s.release_step <= self.now)
+    }
+
+    /// Earliest release step among in-system jobs, if any.
+    pub fn next_release(&self) -> Option<u64> {
+        self.slots.iter().map(|s| s.release_step).min()
+    }
+
+    /// Shared view of the probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Mutable view of the probe.
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// Consumes the core, returning the probe with everything it
+    /// collected.
+    pub fn into_probe(self) -> P {
+        self.probe
+    }
+
+    /// Advances the clock over an idle machine: jumps to the first
+    /// default-length quantum boundary at or after `release` that is
+    /// strictly after the current boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if a job is already live — skipping over runnable
+    /// work would corrupt the schedule.
+    pub fn skip_idle_until(&mut self, release: u64) {
+        debug_assert!(!self.any_live(), "skip_idle_until with live jobs");
+        let l = self.default_len;
+        self.now = release.div_ceil(l).max(self.now / l + 1) * l;
+    }
+
+    /// Runs one quantum at the current boundary over every live job:
+    /// gathers requests, allocates, steps each job's task scheduler, and
+    /// feeds the measured statistics back through its controller. Jobs
+    /// that completed during the quantum are drained into `completed` in
+    /// admission order; the clock advances one quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no job is live — callers decide how to skip idle time
+    /// (see [`skip_idle_until`](QuantumCore::skip_idle_until)).
+    pub fn step_quantum(&mut self, completed: &mut Vec<CompletedJob>) {
+        self.step_quantum_inner(completed, None);
+    }
+
+    /// [`step_quantum`](QuantumCore::step_quantum), but hands the
+    /// executors of drained jobs back to the caller instead of dropping
+    /// them. An open-system driver over a homogeneous workload can
+    /// [`try_reset`](JobExecutor::try_reset) and re-admit them, so a
+    /// steady-state run recycles a bounded pool of executors instead of
+    /// allocating one per arrival. Purely an allocation-lifetime change:
+    /// the simulated schedule is identical to the dropping variant.
+    pub fn step_quantum_reclaiming(
+        &mut self,
+        completed: &mut Vec<CompletedJob>,
+        reclaimed: &mut Vec<E>,
+    ) {
+        self.step_quantum_inner(completed, Some(reclaimed));
+    }
+
+    fn step_quantum_inner(
+        &mut self,
+        completed: &mut Vec<CompletedJob>,
+        mut reclaimed: Option<&mut Vec<E>>,
+    ) {
+        let now = self.now;
+        self.live.clear();
+        self.live.extend(
+            self.slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.release_step <= now)
+                .map(|(i, _)| i),
+        );
+        assert!(
+            !self.live.is_empty(),
+            "step_quantum with no live jobs (use skip_idle_until)"
+        );
+        // The quantum runs at the shortest length any live controller
+        // asks for; fixed-quantum controllers all ask for the default,
+        // so homogeneous sets step on the configured grid.
+        let mut len = u64::MAX;
+        self.requests.clear();
+        for k in 0..self.live.len() {
+            let slot = &self.slots[self.live[k]];
+            len = len.min(slot.next_len);
+            self.requests.push(slot.request);
+        }
+        self.probe.on_quantum_start(now, len, self.live.len());
+        let want_avail = self.record_availability || self.probe.wants_availability();
+        let have_avail = want_avail
+            && self
+                .allocator
+                .try_availabilities(&self.requests, &mut self.availabilities);
+        self.allocator
+            .allocate_into(&self.requests, &mut self.allotments);
+        debug_assert_eq!(self.allotments.len(), self.live.len());
+        let mut finished = 0usize;
+        for k in 0..self.live.len() {
+            let i = self.live[k];
+            let allotment = self.allotments[k];
+            let availability = if have_avail {
+                Some(self.availabilities[k])
+            } else {
+                None
+            };
+            let job = &mut self.slots[i];
+            // A changed allotment burns the first `reallocation_overhead`
+            // steps of the quantum before any task runs.
+            let overhead = if job.prev_allotment.is_some_and(|p| p != allotment) {
+                job.reallocations += 1;
+                self.reallocation_overhead.min(len)
+            } else {
+                0
+            };
+            job.prev_allotment = Some(allotment);
+            self.probe
+                .on_grant(job.id, job.request, allotment, availability);
+            let stats = job.executor.run_quantum(allotment, len - overhead);
+            job.quanta += 1;
+            // Held cycles cover the whole quantum, overhead included.
+            job.waste += stats.waste() + allotment as u64 * overhead;
+            if stats.completed {
+                job.completion = Some(now + overhead + stats.steps_worked);
+                finished += 1;
+            }
+            let record = QuantumRecord {
+                index: job.quanta as u32,
+                start_step: now,
+                request: job.request,
+                allotment,
+                availability,
+                stats,
+            };
+            self.probe.on_quantum_end(job.id, &record);
+            job.request = job.controller.observe(&stats);
+            job.next_len = job.controller.next_quantum_len(self.default_len);
+        }
+        if finished > 0 {
+            // Selective drain preserving admission order (allocation
+            // order — and with it DEQ's rotating tie-break state — must
+            // not depend on who finished).
+            self.retained.clear();
+            for slot in self.slots.drain(..) {
+                match slot.completion {
+                    Some(step) => {
+                        let mut done = CompletedJob {
+                            id: slot.id,
+                            release: slot.release_step,
+                            completion: step,
+                            work: slot.executor.total_work(),
+                            span: slot.executor.total_span(),
+                            waste: slot.waste,
+                            quanta: slot.quanta,
+                            reallocations: slot.reallocations,
+                            trace: Vec::new(),
+                        };
+                        self.probe.on_job_complete(&mut done);
+                        completed.push(done);
+                        if let Some(pool) = reclaimed.as_deref_mut() {
+                            pool.push(slot.executor);
+                        }
+                    }
+                    None => self.retained.push(slot),
+                }
+            }
+            std::mem::swap(&mut self.slots, &mut self.retained);
+        }
+        self.now = now + len;
+        self.quanta += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{NullProbe, Probe, TraceProbe};
+    use abg_alloc::DynamicEquiPartition;
+    use abg_control::ConstantRequest;
+    use abg_dag::LeveledJob;
+    use abg_sched::LeveledExecutor;
+
+    fn job(width: u64, levels: u64) -> LeveledExecutor {
+        LeveledExecutor::new(LeveledJob::constant(width, levels))
+    }
+
+    #[test]
+    fn monomorphized_core_matches_engine_semantics() {
+        let mut core = QuantumCore::new(DynamicEquiPartition::new(8), 10, NullProbe);
+        core.admit(job(2, 40), ConstantRequest::new(2.0), 0);
+        let mut done = Vec::new();
+        core.step_quantum(&mut done);
+        assert_eq!(core.now(), 10);
+        core.admit(job(2, 20), ConstantRequest::new(2.0), 10);
+        while core.jobs_in_system() > 0 {
+            core.step_quantum(&mut done);
+        }
+        done.sort_by_key(|c| c.id);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].completion, 40);
+        assert_eq!(done[1].completion, 30);
+        assert_eq!(done[1].response_time(), 20);
+    }
+
+    #[test]
+    fn trace_probe_delivers_traces_through_completed_jobs() {
+        let mut core = QuantumCore::new(
+            DynamicEquiPartition::new(8),
+            10,
+            TraceProbe::new().with_availability(),
+        );
+        core.admit(job(2, 40), ConstantRequest::new(2.0), 0);
+        let mut done = Vec::new();
+        while core.jobs_in_system() > 0 {
+            core.step_quantum(&mut done);
+        }
+        let trace = &done[0].trace;
+        assert_eq!(trace.len() as u64, done[0].quanta);
+        assert_eq!(trace[0].start_step, 0);
+        assert_eq!(trace[0].availability, Some(8), "alone on the machine");
+        let work: u64 = trace.iter().map(|r| r.stats.work).sum();
+        assert_eq!(work, done[0].work);
+    }
+
+    #[test]
+    fn retaining_probe_keeps_traces_out_of_the_job() {
+        let mut core = QuantumCore::new(
+            DynamicEquiPartition::new(8),
+            10,
+            TraceProbe::new().retaining(),
+        );
+        core.admit(job(2, 20), ConstantRequest::new(2.0), 0);
+        let mut done = Vec::new();
+        while core.jobs_in_system() > 0 {
+            core.step_quantum(&mut done);
+        }
+        assert!(done[0].trace.is_empty(), "retained, not delivered");
+        let kept = core.into_probe().into_completed_traces();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].0, done[0].id);
+        assert_eq!(kept[0].1.len() as u64, done[0].quanta);
+    }
+
+    #[test]
+    fn custom_probe_sees_every_hook_in_order() {
+        #[derive(Default)]
+        struct Counting {
+            starts: u64,
+            grants: u64,
+            ends: u64,
+            completions: u64,
+        }
+        impl Probe for Counting {
+            fn on_quantum_start(&mut self, _now: u64, _len: u64, live: usize) {
+                assert!(live > 0);
+                self.starts += 1;
+            }
+            fn on_grant(&mut self, _id: u64, request: f64, allotment: u32, _p: Option<u32>) {
+                assert!(allotment as f64 <= request.ceil());
+                self.grants += 1;
+            }
+            fn on_quantum_end(&mut self, _id: u64, record: &QuantumRecord) {
+                assert!(record.stats.quantum_len > 0);
+                self.ends += 1;
+            }
+            fn on_job_complete(&mut self, job: &mut CompletedJob) {
+                assert!(job.completion > 0);
+                self.completions += 1;
+            }
+        }
+        let mut core = QuantumCore::new(DynamicEquiPartition::new(4), 10, Counting::default());
+        core.admit(job(2, 30), ConstantRequest::new(2.0), 0);
+        core.admit(job(2, 30), ConstantRequest::new(2.0), 0);
+        let mut done = Vec::new();
+        while core.jobs_in_system() > 0 {
+            core.step_quantum(&mut done);
+        }
+        let probe = core.into_probe();
+        assert_eq!(probe.completions, 2);
+        assert_eq!(probe.grants, probe.ends);
+        assert_eq!(probe.ends, done.iter().map(|c| c.quanta).sum::<u64>());
+        assert!(probe.starts > 0);
+    }
+
+    #[test]
+    fn reallocations_travel_with_the_completed_job() {
+        // Request 1 then 4 under an ample allocator: exactly one
+        // allotment change over the whole run.
+        let mut core = QuantumCore::new(DynamicEquiPartition::new(16), 20, NullProbe);
+        core.admit(job(4, 200), abg_control::AControl::new(0.0), 0);
+        let mut done = Vec::new();
+        while core.jobs_in_system() > 0 {
+            core.step_quantum(&mut done);
+        }
+        assert_eq!(done[0].reallocations, 1);
+    }
+}

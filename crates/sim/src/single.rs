@@ -1,9 +1,11 @@
 //! Single-job simulation: one job alone under a (possibly adversarial)
 //! allocator.
 
+use crate::probe::TraceProbe;
+use crate::quantum_core::QuantumCore;
 use crate::trace::QuantumRecord;
 use abg_alloc::Allocator;
-use abg_control::RequestCalculator;
+use abg_control::Controller;
 use abg_sched::JobExecutor;
 use serde::{Deserialize, Serialize};
 
@@ -104,13 +106,42 @@ impl SingleJobRun {
     }
 }
 
-/// Runs one job to completion under the given calculator and allocator.
+/// Lends a `Clone` allocator to the quantum core while teaching it the
+/// clone-probing [`Allocator::availabilities`] — so single-job traces
+/// carry `p(q)` for *any* cloneable allocator, not just the policies
+/// that override [`Allocator::try_availabilities`] themselves.
+struct CloneProbing<'a, A: Allocator + Clone>(&'a mut A);
+
+impl<A: Allocator + Clone> Allocator for CloneProbing<'_, A> {
+    fn allocate_into(&mut self, requests: &[f64], out: &mut Vec<u32>) {
+        self.0.allocate_into(requests, out)
+    }
+    fn try_availabilities(&mut self, requests: &[f64], out: &mut Vec<u32>) -> bool {
+        out.clear();
+        out.append(&mut self.0.availabilities(requests));
+        true
+    }
+    fn total_processors(&self) -> u32 {
+        self.0.total_processors()
+    }
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+/// Runs one job to completion under the given controller and allocator.
 ///
-/// Implements the paper's loop: `d(1)` comes from the calculator's
+/// Implements the paper's loop: `d(1)` comes from the controller's
 /// initial request; each quantum the allocator grants
 /// `a(q) = min(ceil d(q), p(q))`, the executor runs `L` steps (or to
-/// completion), and the calculator observes the statistics to produce
-/// `d(q+1)`.
+/// completion), and the controller observes the statistics to produce
+/// `d(q+1)`. A paced controller (see
+/// [`Paced`](crate::Paced)) may also vary the quantum length between
+/// `observe` calls; plain request calculators run on the configured `L`.
+///
+/// This is a monomorphized single-slot configuration of
+/// [`QuantumCore`]: no boxing, with a [`TraceProbe`] collecting the
+/// per-quantum records when the config asks for them.
 ///
 /// # Panics
 ///
@@ -123,73 +154,54 @@ pub fn run_single_job<E, C, A>(
 ) -> SingleJobRun
 where
     E: JobExecutor,
-    C: RequestCalculator,
+    C: Controller,
     A: Allocator + Clone,
 {
-    let l = config.quantum_len;
-    let mut request = calculator.initial_request();
-    let mut running_time = 0u64;
-    let mut waste = 0u64;
-    let mut quanta = 0u64;
-    let mut reallocations = 0u64;
-    let mut prev_allotment: Option<u32> = None;
-    let mut trace = Vec::new();
-    // Reused across quanta so the steady-state loop performs no heap
-    // allocation (tracing, when enabled, allocates by design).
-    let mut allotments: Vec<u32> = Vec::with_capacity(1);
-
-    while !executor.is_complete() {
+    if executor.is_complete() {
+        // Zero-work job: the loop below would panic on an empty live
+        // set; the pre-core driver simply never entered its loop.
+        return SingleJobRun {
+            running_time: 0,
+            waste: 0,
+            quanta: 0,
+            reallocations: 0,
+            work: executor.total_work(),
+            span: executor.total_span(),
+            trace: Vec::new(),
+        };
+    }
+    let probe = if config.record_trace {
+        let p = TraceProbe::new();
+        if config.record_availability {
+            p.with_availability()
+        } else {
+            p
+        }
+    } else {
+        TraceProbe::disabled()
+    };
+    let mut core = QuantumCore::new(CloneProbing(allocator), config.quantum_len, probe)
+        .with_reallocation_overhead(config.reallocation_overhead);
+    core.admit(executor, calculator, 0);
+    let mut done = Vec::with_capacity(1);
+    while core.jobs_in_system() > 0 {
         assert!(
-            quanta < config.max_quanta,
+            core.quanta() < config.max_quanta,
             "job did not finish within {} quanta (livelock?)",
             config.max_quanta
         );
-        let availability = if config.record_trace && config.record_availability {
-            Some(allocator.availabilities(&[request])[0])
-        } else {
-            None
-        };
-        allocator.allocate_into(std::slice::from_ref(&request), &mut allotments);
-        let allotment = allotments[0];
-        // A changed allotment burns the first `reallocation_overhead`
-        // steps of the quantum before any task runs.
-        let overhead = if prev_allotment.is_some_and(|p| p != allotment) {
-            reallocations += 1;
-            config.reallocation_overhead.min(l)
-        } else {
-            0
-        };
-        prev_allotment = Some(allotment);
-        let stats = executor.run_quantum(allotment, l - overhead);
-        quanta += 1;
-        // Held cycles cover the whole quantum, overhead included.
-        waste += stats.waste() + allotment as u64 * overhead;
-        running_time += if stats.completed {
-            overhead + stats.steps_worked
-        } else {
-            l
-        };
-        if config.record_trace {
-            trace.push(QuantumRecord {
-                index: quanta as u32,
-                start_step: (quanta - 1) * l,
-                request,
-                allotment,
-                availability,
-                stats,
-            });
-        }
-        request = calculator.observe(&stats);
+        core.step_quantum(&mut done);
     }
-
+    let job = done.pop().expect("the admitted job drains on completion");
     SingleJobRun {
-        running_time,
-        waste,
-        quanta,
-        reallocations,
-        work: executor.total_work(),
-        span: executor.total_span(),
-        trace,
+        // Release step 0: completion and running time coincide.
+        running_time: job.completion,
+        waste: job.waste,
+        quanta: job.quanta,
+        reallocations: job.reallocations,
+        work: job.work,
+        span: job.span,
+        trace: job.trace,
     }
 }
 

@@ -8,7 +8,7 @@
 
 use abg::bounds;
 use abg::prelude::*;
-use abg_sim::trimmed_availability;
+use abg_sim::{mean_availability, trimmed_availability};
 
 fn main() {
     // A job alternating serial and 16-wide phases.
@@ -43,8 +43,7 @@ fn main() {
         .iter()
         .map(|r| r.availability.expect("traced"))
         .collect();
-    let naive_mean =
-        availabilities.iter().map(|&p| p as f64).sum::<f64>() / availabilities.len() as f64;
+    let naive_mean = mean_availability(&availabilities).expect("trace is non-empty");
 
     // Measure the transition factor this schedule actually exhibited.
     let c_l = {

@@ -8,6 +8,8 @@
 //! Recreates the paper's Figure-2 scenario (fractional quantum
 //! statistics) and then compares the quantum parallelism measured by
 //! B-Greedy against a depth-first greedy scheduler on the same dag.
+//! Executors are driven directly here — no driver, no `Controller` —
+//! which is exactly the layer the unified quantum core builds on.
 
 use abg::prelude::*;
 

@@ -19,7 +19,9 @@ fn run_set(set: &JobSet, abg: bool) -> MultiJobOutcome {
     let mut sim =
         MultiJobSim::new(DynamicEquiPartition::new(set.processors), set.quantum_len).with_traces();
     for (job, &release) in set.jobs.iter().zip(&set.releases) {
-        let calc: Box<dyn RequestCalculator + Send> = if abg {
+        // Any `Controller` can drive any job; the engine holds them as a
+        // heterogeneous boxed set.
+        let calc: Box<dyn Controller + Send> = if abg {
             Box::new(AControl::new(0.2))
         } else {
             Box::new(AGreedy::new(2.0, 0.8))

@@ -6,8 +6,8 @@
 //!
 //! Builds a data-parallel job (serial → 32-wide → serial → 8-wide →
 //! serial), runs it alone on a 64-processor machine under the ABG
-//! two-level scheduler (B-Greedy task scheduler + A-Control request
-//! calculator), and prints what happened quantum by quantum.
+//! two-level scheduler (B-Greedy task scheduler + the A-Control
+//! `Controller`), and prints what happened quantum by quantum.
 
 use abg::prelude::*;
 
@@ -30,8 +30,11 @@ fn main() {
     );
 
     // The two-level scheduler: the task scheduler executes and measures,
-    // the controller turns measurements into processor requests, the OS
-    // allocator grants them (here: everything available, up to P = 64).
+    // the `Controller` turns measurements into processor requests, the
+    // OS allocator grants them (here: everything available, up to
+    // P = 64). Every driver — this one, the multi-job engine and the
+    // open-system driver — is the same unified quantum core under a
+    // different configuration.
     let mut executor = PipelinedExecutor::new(job);
     let mut controller = AControl::new(0.2); // convergence rate r = 0.2
     let mut allocator = Scripted::ample(64);

@@ -7,7 +7,9 @@
 //! The values only depend on the config (including the seed), never on
 //! the machine or thread count. Record them before a kernel or layout
 //! refactor and compare after: equal fingerprints mean the refactor is
-//! behavior-identical down to the last ulp on every sweep output field.
+//! behavior-identical down to the last ulp on every sweep output field
+//! (the unified-quantum-core rewrite of all four drivers was gated on
+//! exactly this check).
 //! `tests/sweep_equivalence.rs` pins the scaled-config values; the
 //! `--paper` run covers the full Figure-5/Figure-6 scale (slower).
 

@@ -1,6 +1,7 @@
 //! Transient behaviour: ABG vs A-Greedy request trajectories on a
 //! constant-parallelism job (the paper's Figures 1 and 4), rendered as
-//! an ASCII chart.
+//! an ASCII chart. Both controllers run through the same unified core;
+//! only the `Controller` impl differs.
 //!
 //! ```text
 //! cargo run --release --example transient_requests

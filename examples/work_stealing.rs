@@ -8,6 +8,9 @@
 //! ABP holds the whole machine and burns the serial phases in failed
 //! steal attempts; A-Steal's feedback releases processors it cannot
 //! use; centralized ABG additionally avoids steal overhead entirely.
+//! All three request policies are ordinary [`Controller`]s
+//! (`abg_steal` implements the trait for its schedulers), so they drop
+//! into `run_single_job` unchanged.
 
 use abg::prelude::*;
 use abg_steal::{abp_request, ASteal, StealExecutor};

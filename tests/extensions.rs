@@ -74,20 +74,24 @@ fn asteal_releases_processors_in_serial_phases() {
     );
 }
 
-/// The adaptive quantum policy dominates the fixed policies on the
-/// quanta-versus-quality frontier for phase-structured jobs.
+/// The adaptive quantum pacer dominates the fixed pacers on the
+/// quanta-versus-quality frontier for phase-structured jobs. Pacing is
+/// now a property of the unified `Controller` — the paced controller is
+/// just another controller, even behind a `Box<dyn>`.
 #[test]
 fn adaptive_quantum_frontier() {
     let job = forkjoin(12);
-    let run = |policy: &mut dyn abg_sim::QuantumPolicy| {
+    let run = |pacer: AdaptiveQuantum| {
         let mut ex = PipelinedExecutor::new(job.clone());
-        let mut ctl = AControl::new(0.2);
+        // Boxed on purpose: the quantum-length hooks must survive
+        // dynamic dispatch for heterogeneous engines.
+        let mut ctl: Box<dyn RequestCalculator + Send> = Box::new(pacer.pace(AControl::new(0.2)));
         let mut alloc = Scripted::ample(64);
-        run_one(&mut ex, &mut ctl, &mut alloc, policy)
+        run_single_job_adaptive(&mut ex, &mut ctl, &mut alloc, SingleJobConfig::new(25))
     };
-    let (short, _) = run(&mut FixedQuantum(25));
-    let (long, _) = run(&mut FixedQuantum(400));
-    let (adaptive, _) = run(&mut AdaptiveQuantum::new(25, 400, 0.05));
+    let (short, _) = run(FixedQuantum(25).into());
+    let (long, _) = run(FixedQuantum(400).into());
+    let (adaptive, _) = run(AdaptiveQuantum::new(25, 400, 0.05));
 
     assert!(
         adaptive.quanta < short.quanta,
@@ -101,26 +105,6 @@ fn adaptive_quantum_frontier() {
         adaptive.running_time,
         long.running_time
     );
-}
-
-fn run_one(
-    ex: &mut PipelinedExecutor,
-    ctl: &mut AControl,
-    alloc: &mut Scripted,
-    policy: &mut dyn abg_sim::QuantumPolicy,
-) -> (SingleJobRun, u64) {
-    // Thin wrapper so the test reads linearly; dispatches on the policy
-    // trait object through a generic shim.
-    struct Dyn<'a>(&'a mut dyn abg_sim::QuantumPolicy);
-    impl abg_sim::QuantumPolicy for Dyn<'_> {
-        fn initial_len(&self) -> u64 {
-            self.0.initial_len()
-        }
-        fn observe(&mut self, record: &QuantumRecord, next_request: f64) -> u64 {
-            self.0.observe(record, next_request)
-        }
-    }
-    run_single_job_adaptive(ex, ctl, alloc, &mut Dyn(policy), SingleJobConfig::new(25))
 }
 
 /// The governed rate keeps the Theorem-4 precondition without giving up
@@ -179,7 +163,7 @@ proptest! {
         prop_assert_eq!(ex.completed_work(), dag.work());
     }
 
-    /// The adaptive quantum policy always stays within its bounds and
+    /// The adaptive quantum pacer always stays within its bounds and
     /// the run completes with conserved work.
     #[test]
     fn adaptive_quantum_respects_bounds(widths in prop::collection::vec(1u64..10, 1..5),
@@ -190,11 +174,10 @@ proptest! {
         let job = PhasedJob::new(phases);
         let total = job.work();
         let mut ex = PipelinedExecutor::new(job);
-        let mut ctl = AControl::new(0.2);
+        let mut ctl = AdaptiveQuantum::new(min, max, 0.05).pace(AControl::new(0.2));
         let mut alloc = Scripted::ample(32);
-        let mut policy = AdaptiveQuantum::new(min, max, 0.05);
         let (run, _) = run_single_job_adaptive(
-            &mut ex, &mut ctl, &mut alloc, &mut policy,
+            &mut ex, &mut ctl, &mut alloc,
             SingleJobConfig::new(min).with_trace(),
         );
         prop_assert_eq!(run.work, total);
