@@ -2,7 +2,7 @@
 //! non-reserving policy of McCann, Vaswani and Zahorjan used by the
 //! paper's multiprogrammed experiments (Section 7).
 
-use crate::{ceil_request, invariants, Allocator};
+use crate::{ceil_request, invariants, AllocationStability, Allocator};
 use serde::{Deserialize, Serialize};
 
 /// The DEQ allocator.
@@ -41,6 +41,9 @@ pub struct DynamicEquiPartition {
     /// Scratch (indices of jobs not yet satisfied by water-filling).
     #[serde(skip)]
     active: Vec<usize>,
+    /// Stability verdict of the last `allocate_into` call.
+    #[serde(skip)]
+    stability: AllocationStability,
 }
 
 impl DynamicEquiPartition {
@@ -56,6 +59,7 @@ impl DynamicEquiPartition {
             rotation: 0,
             caps: Vec::new(),
             active: Vec::new(),
+            stability: AllocationStability::Unstable,
         }
     }
 }
@@ -73,7 +77,11 @@ impl Allocator for DynamicEquiPartition {
             rotation,
             caps,
             active,
+            stability,
         } = self;
+        // Until the remainder branch proves otherwise, the allotments are
+        // a pure function of the integerized requests.
+        *stability = AllocationStability::ByCeilings;
         caps.clear();
         caps.extend(requests.iter().map(|&d| ceil_request(d)));
         let mut remaining = *processors as u64;
@@ -114,7 +122,12 @@ impl Allocator for DynamicEquiPartition {
                 let bonus = u64::from(slot < extra);
                 out[i] = ((base + bonus).min(caps[i] as u64)) as u32;
             }
-            *rotation = rotation.wrapping_add(extra);
+            if extra > 0 {
+                // The rotation advanced: replaying the same requests
+                // would hand the bonus processors to different jobs.
+                *stability = AllocationStability::Unstable;
+                *rotation = rotation.wrapping_add(extra);
+            }
         }
 
         debug_assert_eq!(invariants::validate(requests, out, self.processors), Ok(()));
@@ -132,6 +145,10 @@ impl Allocator for DynamicEquiPartition {
 
     fn name(&self) -> &'static str {
         "deq"
+    }
+
+    fn allocation_stability(&self) -> AllocationStability {
+        self.stability
     }
 }
 
@@ -179,6 +196,21 @@ mod tests {
         let lucky1 = a1.iter().position(|&x| x == 4).expect("one +1 slot");
         let lucky2 = a2.iter().position(|&x| x == 4).expect("one +1 slot");
         assert_ne!(lucky1, lucky2, "remainder should rotate");
+    }
+
+    #[test]
+    fn stability_tracks_the_rotation() {
+        let mut d = deq(12);
+        assert_eq!(d.allocation_stability(), AllocationStability::Unstable);
+        // Satisfied regime: pure function of the ceilings.
+        d.allocate(&[3.0, 5.0, 2.0]);
+        assert_eq!(d.allocation_stability(), AllocationStability::ByCeilings);
+        // Deprived with an even split (12 = 4+4+4): still stable.
+        d.allocate(&[100.0, 100.0, 100.0]);
+        assert_eq!(d.allocation_stability(), AllocationStability::ByCeilings);
+        // Deprived with a remainder (12 = 7+5): the rotation advances.
+        d.allocate(&[100.0, 100.0, 100.0, 100.0, 100.0]);
+        assert_eq!(d.allocation_stability(), AllocationStability::Unstable);
     }
 
     #[test]

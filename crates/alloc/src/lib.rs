@@ -33,6 +33,29 @@ pub use proportional::Proportional;
 pub use round_robin::RoundRobin;
 pub use scripted::Scripted;
 
+/// What the *last* `allocate_into` call guarantees about repeating the
+/// allocation, used by frozen-quantum macro-stepping to decide whether
+/// allotments can be held without re-running the policy.
+///
+/// The verdict describes the call that just happened: "if the next call
+/// saw inputs equivalent in the stated sense, it would write the same
+/// allotments and leave the policy state unchanged."
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum AllocationStability {
+    /// No guarantee — the policy mutated tie-break state (or made no
+    /// claim), so the allocation must be recomputed every quantum.
+    #[default]
+    Unstable,
+    /// The allotments are a pure function of the integerized requests
+    /// `ceil(d_i)`: repeating the call with requests of equal ceilings
+    /// reproduces the allotments exactly.
+    ByCeilings,
+    /// The allotments are a pure function of the *exact* request values:
+    /// repeating the call requires bit-identical `d_i`, not just equal
+    /// ceilings.
+    ByExactRequests,
+}
+
 /// Integerizes a request: the smallest processor count that satisfies
 /// it, saturating into `0..=u32::MAX`.
 ///
@@ -125,6 +148,16 @@ pub trait Allocator {
 
     /// Short policy name for traces and reports.
     fn name(&self) -> &'static str;
+
+    /// Stability verdict for the most recent [`allocate_into`] call (see
+    /// [`AllocationStability`]). The default `Unstable` is always
+    /// correct; policies that can certify repeatability override it so
+    /// engines may macro-step frozen quanta without re-allocating.
+    ///
+    /// [`allocate_into`]: Allocator::allocate_into
+    fn allocation_stability(&self) -> AllocationStability {
+        AllocationStability::Unstable
+    }
 }
 
 /// Mutable references are allocators too, so a driver that owns its
@@ -141,6 +174,9 @@ impl<A: Allocator + ?Sized> Allocator for &mut A {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn allocation_stability(&self) -> AllocationStability {
+        (**self).allocation_stability()
     }
 }
 

@@ -1,6 +1,6 @@
 //! Proportional-share allocation.
 
-use crate::{ceil_request, invariants, Allocator};
+use crate::{ceil_request, invariants, AllocationStability, Allocator};
 use serde::{Deserialize, Serialize};
 
 /// Allocates processors in proportion to the requests.
@@ -22,6 +22,9 @@ pub struct Proportional {
     /// Scratch (fractional remainders for largest-remainder rounds).
     #[serde(skip)]
     fractions: Vec<(f64, usize)>,
+    /// Stability verdict of the last `allocate_into` call.
+    #[serde(skip)]
+    stability: AllocationStability,
 }
 
 impl Proportional {
@@ -37,6 +40,7 @@ impl Proportional {
             processors,
             caps: Vec::new(),
             fractions: Vec::new(),
+            stability: AllocationStability::Unstable,
         }
     }
 }
@@ -46,22 +50,30 @@ impl Allocator for Proportional {
         out.clear();
         let n = requests.len();
         if n == 0 {
+            self.stability = AllocationStability::ByCeilings;
             return;
         }
         let Self {
             processors,
             caps,
             fractions,
+            stability,
         } = self;
         caps.clear();
         caps.extend(requests.iter().map(|&d| ceil_request(d)));
         let demand: u64 = caps.iter().map(|&c| c as u64).sum();
         let p = *processors as u64;
         if demand <= p {
-            // Everyone fits: grant everything (non-reserving).
+            // Everyone fits: grant everything (non-reserving). The
+            // allotments are exactly the ceilings, so repeating the call
+            // with ceiling-equal requests reproduces them.
+            *stability = AllocationStability::ByCeilings;
             out.extend_from_slice(caps);
             return;
         }
+        // Overloaded: the ideal shares divide the *raw* requests, so two
+        // requests with equal ceilings can still split differently.
+        *stability = AllocationStability::ByExactRequests;
         let total: f64 = requests.iter().sum();
         out.resize(n, 0);
         let mut granted = 0u64;
@@ -107,6 +119,10 @@ impl Allocator for Proportional {
 
     fn name(&self) -> &'static str {
         "proportional"
+    }
+
+    fn allocation_stability(&self) -> AllocationStability {
+        self.stability
     }
 }
 
@@ -158,5 +174,19 @@ mod tests {
     fn empty_request_set() {
         let mut pr = Proportional::new(4);
         assert!(pr.allocate(&[]).is_empty());
+    }
+
+    #[test]
+    fn stability_tracks_the_branch() {
+        let mut pr = Proportional::new(16);
+        assert_eq!(pr.allocation_stability(), AllocationStability::Unstable);
+        pr.allocate(&[3.0, 4.0]);
+        assert_eq!(pr.allocation_stability(), AllocationStability::ByCeilings);
+        pr.allocate(&[10.0, 20.0, 30.0]);
+        assert_eq!(
+            pr.allocation_stability(),
+            AllocationStability::ByExactRequests,
+            "overloaded shares divide the raw requests"
+        );
     }
 }

@@ -5,9 +5,10 @@
 use abg::experiments::{open_system_sweep, OpenSystemConfig};
 use abg::queue::{run_open_system, OpenConfig, SaturationConfig};
 use abg_alloc::DynamicEquiPartition;
-use abg_control::AControl;
+use abg_control::{AControl, RequestCalculator};
 use abg_dag::PhasedJob;
-use abg_sched::PipelinedExecutor;
+use abg_queue::ReferenceOpenDriver;
+use abg_sched::{JobExecutor, PipelinedExecutor};
 use abg_workload::{mean_gap_for_utilization, ArrivalProcess};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -65,5 +66,68 @@ fn bench_open_system(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_open_system);
+/// Event-driven driver vs the legacy quantum-by-quantum reference loop,
+/// at a lull-dominated load (ρ = 0.3, idle fast-forward does the work)
+/// and a backlog-dominated one (ρ = 0.9, frozen-quantum macro-stepping
+/// does). The pair quantifies what the calendar layer buys end to end.
+///
+/// Jobs here are deep (T₁ = 8 × 50 000 = 400 000 steps) so events are
+/// *sparse* relative to the quantum: at ρ = 0.9 the mean arrival gap is
+/// ~35 quanta, at ρ = 0.3 it is ~104 — both well past the ~22 quanta
+/// the controller needs to reach a bitwise-steady request after each
+/// event. Shallow jobs (as in the `open_system` group above) see an
+/// arrival almost every quantum and leave no window for macro-stepping
+/// — that regime stays covered by the group above.
+fn bench_open_event_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("open_event_kernel");
+    g.sample_size(20);
+
+    let job = Arc::new(PhasedJob::constant(8, 50_000));
+    for rho in [0.3, 0.9] {
+        let mut cfg = driver_config(rho, 60);
+        // 128 processors = 16 effective servers for width-8 jobs, so the
+        // ρ = 0.9 population stays in DEQ's satisfied regime (allotments
+        // it can freeze); on a 4-server machine that load lives in the
+        // deprived regime where every quantum reallocates.
+        cfg.processors = 128;
+        cfg.arrivals = ArrivalProcess::Poisson {
+            mean_gap: mean_gap_for_utilization(rho, 128, 400_000.0),
+        };
+        for (name, legacy) in [("event", false), ("legacy", true)] {
+            let cfg = cfg.clone();
+            let job = Arc::clone(&job);
+            g.bench_function(format!("{name}_rho_{rho}"), |b| {
+                b.iter(|| {
+                    let make_executor =
+                        |_rng: &mut _, recycled: Option<Box<dyn JobExecutor + Send>>| {
+                            if let Some(mut ex) = recycled {
+                                if ex.try_reset() {
+                                    return ex;
+                                }
+                            }
+                            Box::new(PipelinedExecutor::new(Arc::clone(&job)))
+                                as Box<dyn JobExecutor + Send>
+                        };
+                    let make_controller =
+                        || Box::new(AControl::new(0.2)) as Box<dyn RequestCalculator + Send>;
+                    let alloc = DynamicEquiPartition::new(cfg.processors);
+                    black_box(if legacy {
+                        ReferenceOpenDriver::run(
+                            black_box(&cfg),
+                            alloc,
+                            make_executor,
+                            make_controller,
+                        )
+                    } else {
+                        run_open_system(black_box(&cfg), alloc, make_executor, make_controller)
+                    })
+                })
+            });
+        }
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_open_system, bench_open_event_kernel);
 criterion_main!(benches);

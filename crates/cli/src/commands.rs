@@ -30,7 +30,7 @@ pub fn run(command: &str, opts: &Options) -> Result<(), String> {
         "allocators" => allocators(opts),
         "overhead" => overhead(opts),
         "bench" => bench(opts)?,
-        "open" => open(opts),
+        "open" => open(opts)?,
         "all" => all(opts),
         other => return Err(format!("unknown command '{other}' (try --help)")),
     }
@@ -651,15 +651,18 @@ fn baseline_steps_per_sec(json: &str, kernel: &str) -> Option<f64> {
 /// Kernels the `--check` regression gate covers: the hot-loop kernels
 /// whose throughput exercises each simulation regime — the serial
 /// macro-stepping chain, the wide-frontier bulk paths (tree and
-/// bundle), the open-system driver with executor recycling, and the
-/// monomorphized unified quantum core in mixed closed+open use. All are
-/// stable well within the 30% band on an otherwise idle machine, so a
-/// trip means a real regression, not noise.
-const GATED_KERNELS: [&str; 5] = [
+/// bundle), the event-driven open-system driver at moderate load
+/// (`open_system`) and in its high-load macro-stepping regime
+/// (`open_event`), and the monomorphized unified quantum core in mixed
+/// closed+open use. All are stable well within the 30% band on an
+/// otherwise idle machine, so a trip means a real regression, not
+/// noise.
+const GATED_KERNELS: [&str; 6] = [
     "chain_macro",
     "forkjoin_tree",
     "forkjoin_bundle",
     "open_system",
+    "open_event",
     "unified_engine",
 ];
 
@@ -827,7 +830,7 @@ fn open_json(mode: &str, cfg: &OpenSystemConfig, rows: &[OpenSystemRow]) -> Stri
     s
 }
 
-fn open(opts: &Options) {
+fn open(opts: &Options) -> Result<(), String> {
     let mut cfg = if opts.smoke {
         OpenSystemConfig::smoke()
     } else {
@@ -836,13 +839,20 @@ fn open(opts: &Options) {
     if let Some(seed) = opts.seed {
         cfg.seed = seed;
     }
+    if let Some(rho) = opts.rho {
+        cfg.rhos = vec![rho];
+    }
+    // Reject an inconsistent measurement setup with a message instead
+    // of letting the sweep panic mid-run.
+    cfg.validate()
+        .map_err(|e| format!("invalid open-system configuration: {e}"))?;
     let rows = experiments::open_system_sweep(&cfg);
     if opts.json {
         print!(
             "{}",
             open_json(if opts.smoke { "smoke" } else { "paper" }, &cfg, &rows)
         );
-        return;
+        return Ok(());
     }
     let mut t = Table::new(&[
         "rho",
@@ -874,6 +884,7 @@ fn open(opts: &Options) {
         );
         println!();
     }
+    Ok(())
 }
 
 fn all(opts: &Options) {

@@ -16,6 +16,8 @@ pub struct Options {
     pub csv: bool,
     /// Override the experiment seed.
     pub seed: Option<u64>,
+    /// Restrict the `open` sweep to a single offered utilization.
+    pub rho: Option<f64>,
     /// Append ASCII charts after the tables.
     pub plot: bool,
     /// Write machine-readable JSON output (the `bench` subcommand).
@@ -65,6 +67,7 @@ flags:
   --check PATH         bench: fail if any gated kernel's throughput regresses
                        more than 30% below the baseline JSON at PATH
   --seed N             override the experiment seed
+  --rho R              open: sweep only the given offered utilization
   --threads N          harness worker count (overrides ABG_THREADS; results
                        are identical for any count, only wall-clock changes)
   -h, --help           this text";
@@ -87,6 +90,16 @@ flags:
                 "--seed" => {
                     let v = it.next().ok_or("--seed needs a value")?;
                     opts.seed = Some(v.parse().map_err(|_| format!("invalid seed '{v}'"))?);
+                }
+                "--rho" => {
+                    let v = it.next().ok_or("--rho needs a value")?;
+                    let rho: f64 = v
+                        .parse()
+                        .map_err(|_| format!("invalid utilization '{v}'"))?;
+                    if !rho.is_finite() || rho <= 0.0 {
+                        return Err("--rho must be a positive utilization".into());
+                    }
+                    opts.rho = Some(rho);
                 }
                 "--threads" => {
                     let v = it.next().ok_or("--threads needs a value")?;
@@ -181,6 +194,17 @@ mod tests {
         assert!(parse(&["bench", "--threads"]).is_err());
         assert!(parse(&["bench", "--threads", "zero"]).is_err());
         assert!(parse(&["bench", "--threads", "0"]).is_err());
+    }
+
+    #[test]
+    fn parses_rho_flag() {
+        let o = parse(&["open", "--smoke", "--rho", "0.9"]).unwrap();
+        assert_eq!(o.rho, Some(0.9));
+        assert!(parse(&["open"]).unwrap().rho.is_none());
+        assert!(parse(&["open", "--rho"]).is_err());
+        assert!(parse(&["open", "--rho", "high"]).is_err());
+        assert!(parse(&["open", "--rho", "-0.5"]).is_err());
+        assert!(parse(&["open", "--rho", "0"]).is_err());
     }
 
     #[test]

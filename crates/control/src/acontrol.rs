@@ -95,6 +95,24 @@ impl Controller for AControl {
     fn name(&self) -> &'static str {
         "a-control"
     }
+
+    fn supports_frozen_stepping(&self) -> bool {
+        // observe() is a pure function of (request, stats): replayable.
+        true
+    }
+
+    fn is_steady(&self, stats: &QuantumStats) -> bool {
+        // Steady iff re-running the recurrence on the same measurement
+        // reproduces the request bit-for-bit (a geometric fixed point, or
+        // a zero-work quantum that holds the request).
+        match stats.average_parallelism() {
+            Some(a) => {
+                (self.rate * self.request + (1.0 - self.rate) * a).to_bits()
+                    == self.request.to_bits()
+            }
+            None => true,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +193,28 @@ mod tests {
             completed: false,
         };
         assert_eq!(c.observe(&idle), held);
+    }
+
+    #[test]
+    fn steadiness_tracks_the_fixed_point() {
+        let mut c = AControl::one_step();
+        let q = quantum(50, 5.0); // A = 10
+        assert!(c.supports_frozen_stepping());
+        assert!(!c.is_steady(&q), "request 1.0 is far from A = 10");
+        c.observe(&q); // one-step convergence: request = 10 exactly
+        assert!(
+            c.is_steady(&q),
+            "at the fixed point observe() is idempotent"
+        );
+        let idle = QuantumStats {
+            allotment: 0,
+            quantum_len: 10,
+            steps_worked: 0,
+            work: 0,
+            span: 0.0,
+            completed: false,
+        };
+        assert!(c.is_steady(&idle), "zero-work quanta hold the request");
     }
 
     #[test]

@@ -119,6 +119,27 @@ impl Controller for AGreedy {
     fn name(&self) -> &'static str {
         "a-greedy"
     }
+
+    fn supports_frozen_stepping(&self) -> bool {
+        // observe() is a pure function of (desire, stats): replayable.
+        true
+    }
+
+    fn is_steady(&self, stats: &QuantumStats) -> bool {
+        // Only the holding branches are fixed points: a zero allotment,
+        // an efficient-but-deprived quantum, or an inefficient quantum
+        // already pinned at the floor. Satisfied quanta oscillate ×ρ/÷ρ
+        // forever (the Figure 1 instability), so they are never steady.
+        if stats.allotment == 0 {
+            return true;
+        }
+        let deprived = (stats.allotment as f64) < self.desire;
+        if !self.is_efficient(stats) {
+            ((self.desire / self.responsiveness).max(1.0)).to_bits() == self.desire.to_bits()
+        } else {
+            deprived
+        }
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +222,31 @@ mod tests {
         let mut g = AGreedy::paper_default();
         g.observe(&quantum(1, 10, 10)); // desire 2
         assert_eq!(g.observe(&quantum(0, 10, 0)), 2.0);
+    }
+
+    #[test]
+    fn only_holding_branches_are_steady() {
+        let mut g = AGreedy::paper_default();
+        assert!(g.supports_frozen_stepping());
+        g.observe(&quantum(1, 10, 10)); // desire 2
+        assert!(g.is_steady(&quantum(0, 10, 0)), "zero allotment holds");
+        assert!(
+            g.is_steady(&quantum(1, 10, 10)),
+            "efficient + deprived holds"
+        );
+        assert!(
+            !g.is_steady(&quantum(2, 10, 20)),
+            "satisfied quanta keep doubling"
+        );
+        assert!(
+            !g.is_steady(&quantum(2, 10, 5)),
+            "inefficient above the floor keeps halving"
+        );
+        let floor = AGreedy::paper_default(); // desire 1
+        assert!(
+            floor.is_steady(&quantum(2, 10, 5)),
+            "inefficient at the floor stays at 1"
+        );
     }
 
     #[test]

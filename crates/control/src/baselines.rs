@@ -43,6 +43,15 @@ impl Controller for ConstantRequest {
     fn name(&self) -> &'static str {
         "constant"
     }
+
+    fn supports_frozen_stepping(&self) -> bool {
+        true
+    }
+
+    fn is_steady(&self, _stats: &QuantumStats) -> bool {
+        // The request never moves: every quantum is a fixed point.
+        true
+    }
 }
 
 /// A clairvoyant calculator that always requests the job's *overall*
@@ -88,6 +97,14 @@ impl Controller for OracleRequest {
 
     fn name(&self) -> &'static str {
         "oracle"
+    }
+
+    fn supports_frozen_stepping(&self) -> bool {
+        true
+    }
+
+    fn is_steady(&self, _stats: &QuantumStats) -> bool {
+        true
     }
 }
 

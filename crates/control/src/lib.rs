@@ -76,6 +76,34 @@ pub trait Controller {
     fn next_quantum_len(&mut self, default_len: u64) -> u64 {
         default_len
     }
+
+    /// Whether the controller participates in frozen-quantum
+    /// macro-stepping: its [`observe`] must be a pure function of
+    /// `(current state, stats)` with no hidden inputs, and its
+    /// [`next_quantum_len`] must be a pure function of the state (no
+    /// side effects), so the engine can replay the feedback per-quantum
+    /// (or skip it while [`is_steady`] holds) during a bulk advance.
+    /// Defaults to `false` — unknown controllers force the engine back
+    /// to quantum-by-quantum stepping.
+    ///
+    /// [`next_quantum_len`]: Controller::next_quantum_len
+    ///
+    /// [`observe`]: Controller::observe
+    /// [`is_steady`]: Controller::is_steady
+    fn supports_frozen_stepping(&self) -> bool {
+        false
+    }
+
+    /// Whether feeding the *same* `stats` to [`observe`] again would
+    /// leave the controller state (and thus its request and quantum
+    /// length) bit-identical. A conservative `false` is always correct;
+    /// `true` lets the engine skip the replay entirely for this job.
+    ///
+    /// [`observe`]: Controller::observe
+    fn is_steady(&self, stats: &QuantumStats) -> bool {
+        let _ = stats;
+        false
+    }
 }
 
 /// The pre-unification name of [`Controller`] (when the request side and
@@ -85,9 +113,11 @@ pub trait Controller {
 pub use Controller as RequestCalculator;
 
 /// Boxed controllers are controllers too, so the simulator can hold a
-/// heterogeneous set of per-job controllers. All six methods forward —
-/// including the quantum-length hooks, so a boxed paced controller still
-/// paces the engine.
+/// heterogeneous set of per-job controllers. All methods forward —
+/// including the quantum-length and frozen-stepping hooks, so a boxed
+/// paced controller still paces the engine and a boxed steady controller
+/// still freezes it (a defaulted forward here would silently disable
+/// macro-stepping for every boxed controller).
 impl Controller for Box<dyn Controller + Send> {
     fn initial_request(&self) -> f64 {
         (**self).initial_request()
@@ -106,6 +136,12 @@ impl Controller for Box<dyn Controller + Send> {
     }
     fn next_quantum_len(&mut self, default_len: u64) -> u64 {
         (**self).next_quantum_len(default_len)
+    }
+    fn supports_frozen_stepping(&self) -> bool {
+        (**self).supports_frozen_stepping()
+    }
+    fn is_steady(&self, stats: &QuantumStats) -> bool {
+        (**self).is_steady(stats)
     }
 }
 
@@ -129,5 +165,11 @@ impl<T: Controller + ?Sized> Controller for &mut T {
     }
     fn next_quantum_len(&mut self, default_len: u64) -> u64 {
         (**self).next_quantum_len(default_len)
+    }
+    fn supports_frozen_stepping(&self) -> bool {
+        (**self).supports_frozen_stepping()
+    }
+    fn is_steady(&self, stats: &QuantumStats) -> bool {
+        (**self).is_steady(stats)
     }
 }

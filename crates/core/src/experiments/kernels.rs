@@ -77,6 +77,15 @@ pub struct KernelBenchConfig {
     pub open_jobs: u64,
     /// Offered utilization of the open-system kernel (must be stable).
     pub open_rho: f64,
+    /// Levels per job in the open kernels (width-8 phases, so `T1 =
+    /// 8 · open_levels`). Long jobs put the drivers in the event-sparse
+    /// regime the frozen-quantum machinery targets: thousands of quanta
+    /// between arrivals and completions, nearly all of them frozen.
+    pub open_levels: u64,
+    /// Offered utilization of the `open_event` kernel — high enough
+    /// that a double-digit population is live in every window, while
+    /// staying in DEQ's satisfied regime where windows can freeze.
+    pub open_event_rho: f64,
     /// Suite seed (job generation only; timings are machine-dependent).
     pub seed: u64,
 }
@@ -106,6 +115,8 @@ impl KernelBenchConfig {
             load: 2.0,
             open_jobs: 400,
             open_rho: 0.6,
+            open_levels: 100_000,
+            open_event_rho: 0.85,
             seed: 0xB16C_2008,
         }
     }
@@ -140,6 +151,14 @@ impl KernelBenchConfig {
             load: 1.0,
             open_jobs: 60,
             open_rho: 0.5,
+            open_levels: 4_000,
+            // The full size runs 0.85 on 128 processors (16 effective
+            // servers); at the smoke scale (4 effective servers) the
+            // same rho is burstier and spends far more time in DEQ's
+            // deprived regime where windows cannot freeze, so the smoke
+            // point backs off to keep the kernel in the macro-stepping
+            // regime the full-size baseline prices.
+            open_event_rho: 0.7,
             seed: 0xB16C_2008,
         }
     }
@@ -363,15 +382,20 @@ pub fn run_kernel_suite(cfg: &KernelBenchConfig) -> Vec<KernelResult> {
     }));
 
     // Composite: the open-system driver under sustained Poisson
-    // arrivals — admission, per-quantum stepping with drain, and
-    // steady-state collection. Ops are arrivals admitted, steps are the
-    // simulated horizon; the fixed seed keeps both iter-constant.
-    let open_job = Arc::new(PhasedJob::constant(8, 200)); // T1 = 1600
+    // arrivals — admission, event-driven stepping with frozen-quantum
+    // windows between arrivals and completions, and steady-state
+    // collection. The long jobs (`open_levels` width-8 levels) put the
+    // run in the event-sparse regime: thousands of quanta separate
+    // consecutive events and nearly all of them are macro-stepped. Ops
+    // are arrivals admitted, steps are the simulated horizon; the fixed
+    // seed keeps both iter-constant.
+    let open_t1 = 8.0 * cfg.open_levels as f64;
+    let open_job = Arc::new(PhasedJob::constant(8, cfg.open_levels));
     let open_cfg = abg_queue::OpenConfig {
         processors: cfg.processors,
         quantum_len: 100,
         arrivals: abg_workload::ArrivalProcess::Poisson {
-            mean_gap: abg_workload::mean_gap_for_utilization(cfg.open_rho, cfg.processors, 1600.0),
+            mean_gap: abg_workload::mean_gap_for_utilization(cfg.open_rho, cfg.processors, open_t1),
         },
         warmup_jobs: cfg.open_jobs / 4,
         measured_jobs: cfg.open_jobs,
@@ -387,6 +411,39 @@ pub fn run_kernel_suite(cfg: &KernelBenchConfig) -> Vec<KernelResult> {
             // Homogeneous population: every arrival runs the same job
             // structure, so a recycled executor is rewound and reused —
             // the steady-state loop allocates nothing per arrival.
+            |_rng, recycled| {
+                if let Some(mut ex) = recycled {
+                    if ex.try_reset() {
+                        return ex;
+                    }
+                }
+                Box::new(PipelinedExecutor::new(Arc::clone(&open_job)))
+            },
+            || Box::new(AControl::new(0.2)),
+        );
+        let stats = out.steady().expect("kernel rho must be stable");
+        (stats.arrivals, stats.horizon)
+    }));
+
+    // Composite: the same event-driven driver at high offered load —
+    // the macro-stepping stress case. A double-digit population is live
+    // in every frozen window, so the window bookkeeping (stability
+    // checks, per-job lookahead, bulk catch-up) is priced per job
+    // rather than hidden behind idle skipping.
+    let event_cfg = abg_queue::OpenConfig {
+        arrivals: abg_workload::ArrivalProcess::Poisson {
+            mean_gap: abg_workload::mean_gap_for_utilization(
+                cfg.open_event_rho,
+                cfg.processors,
+                open_t1,
+            ),
+        },
+        ..open_cfg.clone()
+    };
+    results.push(measure("open_event", ms, || {
+        let out = abg_queue::run_open_system(
+            &event_cfg,
+            DynamicEquiPartition::new(cfg.processors),
             |_rng, recycled| {
                 if let Some(mut ex) = recycled {
                     if ex.try_reset() {
@@ -478,6 +535,7 @@ mod tests {
                 "single_job_sweep",
                 "multiprogrammed_deq",
                 "open_system",
+                "open_event",
                 "unified_engine",
             ]
         );

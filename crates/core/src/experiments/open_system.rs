@@ -111,6 +111,26 @@ impl OpenSystemConfig {
             seed: 0x09E2,
         }
     }
+
+    /// Validates the per-point [`OpenConfig`] this sweep would run, so
+    /// front ends can reject an inconsistent measurement setup with a
+    /// typed error up front instead of panicking mid-sweep. (The
+    /// arrival gap and seed vary per point but play no part in config
+    /// validity.)
+    pub fn validate(&self) -> Result<(), abg_queue::ConfigError> {
+        OpenConfig {
+            processors: self.processors,
+            quantum_len: self.quantum_len,
+            arrivals: ArrivalProcess::Poisson { mean_gap: 1.0 },
+            warmup_jobs: self.warmup_jobs,
+            measured_jobs: self.measured_jobs,
+            batches: self.batches,
+            max_quanta: self.max_quanta,
+            saturation: self.saturation,
+            seed: self.seed,
+        }
+        .validate()
+    }
 }
 
 /// One scheduler's steady-state measurements at one ρ point. Unstable

@@ -23,6 +23,7 @@
 //!    aborts runs that will never reach steady state (ρ ≥ 1), reporting
 //!    them as [`OpenOutcome::Unstable`] instead of hanging.
 
+use crate::events::{frozen_window_bound, ArrivalCalendar};
 use crate::saturation::{SaturationConfig, SaturationDetector, SaturationReason};
 use crate::stats::{batch_means, percentiles, ConfidenceInterval, PercentileSummary};
 use abg_alloc::Allocator;
@@ -58,20 +59,98 @@ pub struct OpenConfig {
     pub seed: u64,
 }
 
-impl OpenConfig {
-    /// Checks internal consistency (the engine checks `quantum_len`).
-    fn validate(&self) {
-        assert!(self.processors > 0, "machine must have processors");
-        assert!(self.measured_jobs > 0, "nothing to measure");
-        assert!(self.batches >= 2, "batch means needs at least two batches");
-        assert!(
-            self.measured_jobs >= self.batches as u64,
-            "need at least one observation per batch ({} jobs < {} batches)",
-            self.measured_jobs,
-            self.batches
-        );
-        assert!(self.max_quanta > 0, "need a positive quanta budget");
+/// Why an [`OpenConfig`] is internally inconsistent.
+///
+/// Returned by [`OpenConfig::validate`] so front ends (the CLI `open`
+/// subcommand) can report the problem instead of aborting the process;
+/// the drivers still fail fast via [`OpenConfig::assert_valid`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `processors == 0`: the machine has nothing to allocate.
+    NoProcessors,
+    /// `measured_jobs == 0`: the run could never end.
+    NothingToMeasure,
+    /// `batches < 2`: batch means needs at least two batches.
+    TooFewBatches,
+    /// Fewer measured jobs than batches — some batch would be empty.
+    TooFewObservations {
+        /// The configured measurement population.
+        measured_jobs: u64,
+        /// The configured batch count.
+        batches: u32,
+    },
+    /// `max_quanta == 0`: no quanta budget to run under.
+    NoQuantaBudget,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoProcessors => write!(f, "machine must have processors"),
+            ConfigError::NothingToMeasure => write!(f, "nothing to measure"),
+            ConfigError::TooFewBatches => write!(f, "batch means needs at least two batches"),
+            ConfigError::TooFewObservations {
+                measured_jobs,
+                batches,
+            } => write!(
+                f,
+                "need at least one observation per batch ({measured_jobs} jobs < {batches} batches)"
+            ),
+            ConfigError::NoQuantaBudget => write!(f, "need a positive quanta budget"),
+        }
     }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl OpenConfig {
+    /// Checks internal consistency (the engine checks `quantum_len`),
+    /// reporting the first violation as a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.processors == 0 {
+            return Err(ConfigError::NoProcessors);
+        }
+        if self.measured_jobs == 0 {
+            return Err(ConfigError::NothingToMeasure);
+        }
+        if self.batches < 2 {
+            return Err(ConfigError::TooFewBatches);
+        }
+        if self.measured_jobs < self.batches as u64 {
+            return Err(ConfigError::TooFewObservations {
+                measured_jobs: self.measured_jobs,
+                batches: self.batches,
+            });
+        }
+        if self.max_quanta == 0 {
+            return Err(ConfigError::NoQuantaBudget);
+        }
+        Ok(())
+    }
+
+    /// Panicking form of [`validate`](OpenConfig::validate), used by the
+    /// drivers (whose signatures predate the typed error) to fail fast
+    /// with the same messages the old asserts produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`] display message on the first
+    /// violation.
+    pub fn assert_valid(&self) {
+        if let Err(err) = self.validate() {
+            panic!("{err}");
+        }
+    }
+}
+
+/// Completed work over machine capacity `P · horizon`, guarded so a run
+/// aborted before executing a single quantum (`horizon == 0`) reports a
+/// utilization of zero instead of `0/0 = NaN`.
+pub(crate) fn measured_utilization(completed_work: u64, processors: u32, horizon: u64) -> f64 {
+    if horizon == 0 {
+        return 0.0;
+    }
+    completed_work as f64 / (processors as f64 * horizon as f64)
 }
 
 /// Steady-state measurements of a completed run.
@@ -203,9 +282,9 @@ where
     C: FnMut() -> Box<dyn RequestCalculator + Send>,
     P: Probe,
 {
-    cfg.validate();
+    cfg.assert_valid();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut stream = cfg.arrivals.stream();
+    let mut calendar = ArrivalCalendar::new(&cfg.arrivals);
     let mut engine = QuantumCore::new(allocator, cfg.quantum_len, probe);
     let mut detector = SaturationDetector::new(cfg.saturation);
 
@@ -219,7 +298,7 @@ where
     let mut outstanding = measured;
 
     let mut arrivals = 0u64;
-    let mut next_arrival = stream.next_arrival(&mut rng);
+    let mut next_arrival = calendar.next_arrival(&mut rng);
     let mut completed_work = 0u64;
     let mut done: Vec<CompletedJob> = Vec::new();
     // Executors handed back by the engine when their jobs drained,
@@ -227,14 +306,14 @@ where
     // buffers first). Bounded by the peak in-system job count.
     let mut pool: Vec<Box<dyn JobExecutor + Send>> = Vec::new();
 
-    let outcome = loop {
+    let outcome = 'run: loop {
         // Admit everything due at (or before) the current boundary; the
         // admission id is the arrival index.
         while next_arrival <= engine.now() {
             let executor = make_executor(&mut rng, pool.pop());
             engine.admit(executor, make_calculator(), next_arrival);
             arrivals += 1;
-            next_arrival = stream.next_arrival(&mut rng);
+            next_arrival = calendar.next_arrival(&mut rng);
         }
         if !engine.any_live() {
             // Empty system: fast-forward to the boundary of the next
@@ -263,40 +342,107 @@ where
         }
 
         if outstanding == 0 {
-            let response = batch_means(&responses, cfg.batches)
-                .expect("validate() guarantees one observation per batch");
-            let slowdown = percentiles(&slowdowns).expect("measured_jobs > 0");
-            let horizon = engine.now();
-            break OpenOutcome::Steady(SteadyStats {
-                response,
-                slowdown,
-                completed: measured,
+            break steady_stats(
+                cfg,
+                &responses,
+                &slowdowns,
                 arrivals,
-                quanta: engine.quanta(),
-                horizon,
-                mean_jobs_in_system: detector.mean_jobs_in_system(),
-                measured_utilization: completed_work as f64
-                    / (cfg.processors as f64 * horizon as f64),
-            });
+                completed_work,
+                &engine,
+                &detector,
+            );
         }
 
-        let reason = detector.check().or_else(|| {
-            (engine.quanta() >= cfg.max_quanta).then_some(SaturationReason::HorizonExhausted {
-                quanta: cfg.max_quanta,
-            })
-        });
-        if let Some(reason) = reason {
-            break OpenOutcome::Unstable(UnstableReport {
-                reason,
-                quanta: engine.quanta(),
-                horizon: engine.now(),
-                jobs_in_system: engine.jobs_in_system() as u64,
-                completed: measured - outstanding,
-                arrivals,
-            });
+        if let Some(reason) = saturation_trip(cfg, &engine, &detector) {
+            break unstable_report(reason, arrivals, measured - outstanding, &engine);
+        }
+
+        // Event-driven macro-stepping: between the real quantum just
+        // executed and the next driver-level event (arrival admission,
+        // trend evaluation, budget edge), jump the core across frozen
+        // quanta in bulk. The core declines whenever a completion or a
+        // request change could occur, so nothing observable is skipped.
+        while let Some(len) = engine.frozen_quantum_len() {
+            let bound = frozen_window_bound(
+                engine.now(),
+                len,
+                next_arrival,
+                detector.quanta_until_trend_check(),
+                engine.quanta(),
+                cfg.max_quanta,
+            );
+            let advanced = engine.advance_frozen(bound);
+            if advanced == 0 {
+                break;
+            }
+            detector.record_n(engine.jobs_in_system(), advanced);
+            if let Some(reason) = saturation_trip(cfg, &engine, &detector) {
+                break 'run unstable_report(reason, arrivals, measured - outstanding, &engine);
+            }
         }
     };
     (outcome, engine.into_probe())
+}
+
+/// The steady outcome, assembled from the measurement buffers once the
+/// last measured job completed.
+#[allow(clippy::too_many_arguments)]
+fn steady_stats<A: Allocator, P: Probe>(
+    cfg: &OpenConfig,
+    responses: &[f64],
+    slowdowns: &[f64],
+    arrivals: u64,
+    completed_work: u64,
+    engine: &QuantumCore<Box<dyn JobExecutor + Send>, Box<dyn RequestCalculator + Send>, A, P>,
+    detector: &SaturationDetector,
+) -> OpenOutcome {
+    let response = batch_means(responses, cfg.batches)
+        .expect("validate() guarantees one observation per batch");
+    let slowdown = percentiles(slowdowns).expect("measured_jobs > 0");
+    let horizon = engine.now();
+    OpenOutcome::Steady(SteadyStats {
+        response,
+        slowdown,
+        completed: cfg.measured_jobs,
+        arrivals,
+        quanta: engine.quanta(),
+        horizon,
+        mean_jobs_in_system: detector.mean_jobs_in_system(),
+        measured_utilization: measured_utilization(completed_work, cfg.processors, horizon),
+    })
+}
+
+/// Evaluates the saturation detector and the quanta budget — the same
+/// check, in the same order, after every executed quantum (bulk windows
+/// end exactly on trend-evaluation and budget edges, so evaluating once
+/// per window sees what per-quantum evaluation would have seen).
+fn saturation_trip<A: Allocator, P: Probe>(
+    cfg: &OpenConfig,
+    engine: &QuantumCore<Box<dyn JobExecutor + Send>, Box<dyn RequestCalculator + Send>, A, P>,
+    detector: &SaturationDetector,
+) -> Option<SaturationReason> {
+    detector.check().or_else(|| {
+        (engine.quanta() >= cfg.max_quanta).then_some(SaturationReason::HorizonExhausted {
+            quanta: cfg.max_quanta,
+        })
+    })
+}
+
+/// The unstable outcome at the moment `reason` tripped.
+fn unstable_report<A: Allocator, P: Probe>(
+    reason: SaturationReason,
+    arrivals: u64,
+    completed: u64,
+    engine: &QuantumCore<Box<dyn JobExecutor + Send>, Box<dyn RequestCalculator + Send>, A, P>,
+) -> OpenOutcome {
+    OpenOutcome::Unstable(UnstableReport {
+        reason,
+        quanta: engine.quanta(),
+        horizon: engine.now(),
+        jobs_in_system: engine.jobs_in_system() as u64,
+        completed,
+        arrivals,
+    })
 }
 
 #[cfg(test)]
@@ -453,5 +599,69 @@ mod tests {
         cfg.measured_jobs = 4;
         cfg.batches = 10;
         let _ = run(&cfg);
+    }
+
+    #[test]
+    fn validate_reports_typed_errors_with_the_historical_messages() {
+        let base = config(0.3);
+        assert_eq!(base.validate(), Ok(()));
+
+        type Mutate<'a> = &'a dyn Fn(&mut OpenConfig);
+        let cases: [(Mutate, ConfigError, &str); 5] = [
+            (
+                &|c| c.processors = 0,
+                ConfigError::NoProcessors,
+                "machine must have processors",
+            ),
+            (
+                &|c| c.measured_jobs = 0,
+                ConfigError::NothingToMeasure,
+                "nothing to measure",
+            ),
+            (
+                &|c| c.batches = 1,
+                ConfigError::TooFewBatches,
+                "batch means needs at least two batches",
+            ),
+            (
+                &|c| {
+                    c.measured_jobs = 4;
+                    c.batches = 10;
+                },
+                ConfigError::TooFewObservations {
+                    measured_jobs: 4,
+                    batches: 10,
+                },
+                "need at least one observation per batch (4 jobs < 10 batches)",
+            ),
+            (
+                &|c| c.max_quanta = 0,
+                ConfigError::NoQuantaBudget,
+                "need a positive quanta budget",
+            ),
+        ];
+        for (mutate, expected, message) in cases {
+            let mut cfg = base.clone();
+            mutate(&mut cfg);
+            let err = cfg.validate().unwrap_err();
+            assert_eq!(err, expected);
+            // assert_valid (and with it the drivers) must keep panicking
+            // with the exact messages the old asserts produced.
+            assert_eq!(err.to_string(), message);
+        }
+    }
+
+    #[test]
+    fn zero_horizon_abort_yields_zero_utilization_not_nan() {
+        // A run aborted before executing a single quantum used to feed
+        // `0 / (P · 0)` into the utilization — a NaN that poisoned any
+        // aggregation over it.
+        assert_eq!(measured_utilization(0, 16, 0).to_bits(), 0.0_f64.to_bits());
+        // Normal case unchanged.
+        assert_eq!(measured_utilization(320, 16, 10), 2.0);
+        // The companion statistic over an empty detector history is
+        // likewise a plain zero.
+        let detector = SaturationDetector::new(SaturationConfig::default());
+        assert_eq!(detector.mean_jobs_in_system().to_bits(), 0.0_f64.to_bits());
     }
 }

@@ -1,0 +1,186 @@
+//! Pending-event layer for the event-driven open-system driver.
+//!
+//! The quantum-by-quantum open loop burned a full allocate/step/observe
+//! round on every quantum even when provably nothing could change. The
+//! event-driven driver instead treats the run as a sequence of
+//! *events* — the next arrival, the next saturation-trend evaluation,
+//! the quanta-budget edge, and (inside the core) the earliest possible
+//! completion or request change — and jumps between them with
+//! [`QuantumCore::advance_frozen`](abg_sim::QuantumCore::advance_frozen).
+//!
+//! This module supplies the two driver-level pieces:
+//!
+//! * [`ArrivalCalendar`] — the pending-arrival queue fed by
+//!   [`ArrivalStream::next_batch`], so trace-driven streams refill in
+//!   blocks instead of one stream call per arrival;
+//! * [`frozen_window_bound`] — the arithmetic folding the driver-level
+//!   event horizons into the largest quantum count the next frozen
+//!   window may cover without skipping an observable event.
+//!
+//! The split keeps the driver loop free of event bookkeeping and makes
+//! the bounds unit-testable against the legacy loop's admission and
+//! check points.
+
+use abg_workload::{ArrivalProcess, ArrivalStream};
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// How many arrivals a trace-driven calendar pre-draws per refill.
+const TRACE_BATCH: usize = 64;
+
+/// A pending-event queue of upcoming arrival times.
+///
+/// Wraps an [`ArrivalStream`] and hands out arrival times one at a
+/// time, refilling an internal buffer in batches via
+/// [`ArrivalStream::next_batch`]. The batch size is chosen per process
+/// so the RNG consumption order is *identical* to calling
+/// [`ArrivalStream::next_arrival`] once per arrival:
+///
+/// * **Trace** streams consume no randomness, so the calendar pre-draws
+///   `TRACE_BATCH` (64) gaps per refill;
+/// * **Poisson** streams draw one `f64` per gap from the same RNG the
+///   driver's job generator samples from, interleaved
+///   gap/job/gap/job… — batching those draws would reorder the stream
+///   and move every pinned `open_fingerprint`, so the calendar keeps a
+///   lookahead of exactly one.
+#[derive(Debug, Clone)]
+pub struct ArrivalCalendar {
+    stream: ArrivalStream,
+    pending: VecDeque<u64>,
+    batch: usize,
+}
+
+impl ArrivalCalendar {
+    /// Starts a calendar over a fresh stream of `process` from time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid process (see [`ArrivalProcess::stream`]).
+    pub fn new(process: &ArrivalProcess) -> Self {
+        let batch = match process {
+            ArrivalProcess::Poisson { .. } => 1,
+            ArrivalProcess::Trace { .. } => TRACE_BATCH,
+        };
+        Self {
+            stream: process.stream(),
+            pending: VecDeque::new(),
+            batch,
+        }
+    }
+
+    /// Consumes and returns the next arrival time (absolute step).
+    ///
+    /// Bit-identical to [`ArrivalStream::next_arrival`] on the same
+    /// stream and RNG, draw for draw.
+    pub fn next_arrival<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        if self.pending.is_empty() {
+            let mut buf = Vec::new();
+            self.stream.next_batch(self.batch, rng, &mut buf);
+            self.pending.extend(buf);
+        }
+        self.pending.pop_front().expect("batch refill is non-empty")
+    }
+}
+
+/// The largest number of quanta the next frozen window may cover
+/// without stepping over a driver-level event, given the current
+/// boundary `now` and quantum length `len`:
+///
+/// * **arrival** — the window must close before the quantum boundary at
+///   which `next_arrival` would be admitted (the first boundary at or
+///   after it), so a frozen quantum may start at `now + j·len` only
+///   while that is strictly before the arrival;
+/// * **trend check** — `trend_horizon` quanta until the saturation
+///   detector's next trend evaluation (between evaluations only the
+///   hard population cap is live, and a constant population cannot
+///   newly cross it);
+/// * **budget** — the window may reach, but never pass, `max_quanta`
+///   total executed quanta, so the horizon-exhausted report carries the
+///   same numbers the per-quantum loop would have reported.
+///
+/// The core further bounds the window by completion and
+/// request-stability lookahead; this function only folds the horizons
+/// the driver owns.
+pub fn frozen_window_bound(
+    now: u64,
+    len: u64,
+    next_arrival: u64,
+    trend_horizon: u64,
+    quanta: u64,
+    max_quanta: u64,
+) -> u64 {
+    let arrival = if next_arrival <= now {
+        0
+    } else {
+        (next_arrival - now).div_ceil(len)
+    };
+    let budget = max_quanta.saturating_sub(quanta);
+    arrival.min(trend_horizon).min(budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn calendar_matches_the_raw_stream_for_both_processes() {
+        for process in [
+            ArrivalProcess::Poisson { mean_gap: 25.0 },
+            ArrivalProcess::Trace {
+                gaps: vec![7, 0, 3, 12],
+            },
+        ] {
+            let mut raw_rng = StdRng::seed_from_u64(0xCA1);
+            let mut cal_rng = StdRng::seed_from_u64(0xCA1);
+            let mut raw = process.stream();
+            let mut cal = ArrivalCalendar::new(&process);
+            for i in 0..200 {
+                assert_eq!(
+                    cal.next_arrival(&mut cal_rng),
+                    raw.next_arrival(&mut raw_rng),
+                    "arrival {i} diverged for {process:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_calendar_keeps_lookahead_one() {
+        // Interleave arrival draws with unrelated draws from the same
+        // RNG — the pattern of the fingerprint-pinned sweeps. The
+        // calendar must consume exactly one draw per arrival, in order.
+        let process = ArrivalProcess::Poisson { mean_gap: 25.0 };
+        let mut raw_rng = StdRng::seed_from_u64(0xCA2);
+        let mut cal_rng = StdRng::seed_from_u64(0xCA2);
+        let mut raw = process.stream();
+        let mut cal = ArrivalCalendar::new(&process);
+        for _ in 0..100 {
+            assert_eq!(
+                cal.next_arrival(&mut cal_rng),
+                raw.next_arrival(&mut raw_rng)
+            );
+            let a: u64 = cal_rng.random();
+            let b: u64 = raw_rng.random();
+            assert_eq!(a, b, "RNG interleave broken");
+        }
+    }
+
+    #[test]
+    fn window_bound_respects_each_horizon() {
+        // Arrival strictly inside the window: ceil((95-40)/10) = 6
+        // quanta may start before the boundary at 100 admits it.
+        assert_eq!(frozen_window_bound(40, 10, 95, 1000, 0, 1000), 6);
+        // Arrival exactly on a boundary: that quantum is not frozen.
+        assert_eq!(frozen_window_bound(40, 10, 50, 1000, 0, 1000), 1);
+        // Arrival due now (or overdue): no window at all.
+        assert_eq!(frozen_window_bound(40, 10, 40, 1000, 0, 1000), 0);
+        assert_eq!(frozen_window_bound(40, 10, 12, 1000, 0, 1000), 0);
+        // Trend evaluation closer than the arrival.
+        assert_eq!(frozen_window_bound(40, 10, 9999, 3, 0, 1000), 3);
+        // Budget edge: may reach max_quanta but not pass it.
+        assert_eq!(frozen_window_bound(40, 10, 9999, 1000, 998, 1000), 2);
+        assert_eq!(frozen_window_bound(40, 10, 9999, 1000, 1000, 1000), 0);
+    }
+}

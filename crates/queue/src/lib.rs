@@ -12,11 +12,22 @@
 //!
 //! * [`driver`] — [`run_open_system`]: sustained-arrival simulation
 //!   whose memory footprint tracks the in-system population, not the
-//!   total number of arrivals;
+//!   total number of arrivals. The driver is *event-driven*: between
+//!   arrivals, completions, request changes, and saturation checks it
+//!   macro-steps the core across frozen quanta in bulk
+//!   ([`abg_sim::QuantumCore::advance_frozen`]) instead of burning an
+//!   allocate/step/observe round per quantum, with bit-identical
+//!   observables;
+//! * [`events`] — the pending-event layer behind the driver: the
+//!   batched [`ArrivalCalendar`] and the frozen-window bound
+//!   arithmetic;
 //! * [`stats`] — [`batch_means`] confidence intervals and nearest-rank
 //!   [`percentiles`] for steady-state output analysis;
 //! * [`saturation`] — the [`SaturationDetector`] queue-length trend
-//!   test that aborts never-steady runs (ρ ≥ 1) instead of hanging.
+//!   test that aborts never-steady runs (ρ ≥ 1) instead of hanging;
+//! * `reference` (tests / `test-support` feature only) — the legacy
+//!   quantum-by-quantum loop, kept as the differential-testing ground
+//!   truth for the event-driven driver.
 //!
 //! Offered load is set through
 //! [`abg_workload::mean_gap_for_utilization`]: ρ = E\[T₁\] / (gap · P),
@@ -59,11 +70,20 @@
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod events;
+#[cfg(test)]
+mod lockstep;
+#[cfg(any(test, feature = "test-support"))]
+pub mod reference;
 pub mod saturation;
 pub mod stats;
 
 pub use driver::{
-    run_open_system, run_open_system_probed, OpenConfig, OpenOutcome, SteadyStats, UnstableReport,
+    run_open_system, run_open_system_probed, ConfigError, OpenConfig, OpenOutcome, SteadyStats,
+    UnstableReport,
 };
+pub use events::ArrivalCalendar;
+#[cfg(any(test, feature = "test-support"))]
+pub use reference::ReferenceOpenDriver;
 pub use saturation::{SaturationConfig, SaturationDetector, SaturationReason};
 pub use stats::{batch_means, percentiles, ConfidenceInterval, PercentileSummary};

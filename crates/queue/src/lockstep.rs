@@ -1,0 +1,172 @@
+//! Lockstep differential tests: the event-driven driver must be
+//! **bit-identical** to the reference quantum-by-quantum loop.
+//!
+//! Frozen-quantum macro-stepping is only a performance optimisation if
+//! nothing observable moves: steady statistics, saturation reports,
+//! completion order, and per-quantum traces all have to come out
+//! bit-for-bit the same whether the driver stepped every quantum or
+//! jumped between events. The property tests here run both drivers
+//! over randomized loads (ρ ∈ {0.2, 0.7, 0.95}), arrival processes
+//! (Poisson and trace), allocators (DEQ and proportional), and
+//! controllers (ABG and A-Greedy), with a heterogeneous job population
+//! sampled from the shared driver RNG — the exact interleaving the
+//! pinned sweep fingerprints depend on.
+
+use crate::reference::ReferenceOpenDriver;
+use crate::{run_open_system_probed, OpenConfig, OpenOutcome, SaturationConfig};
+use abg_alloc::{Allocator, DynamicEquiPartition, Proportional};
+use abg_control::{AControl, AGreedy, RequestCalculator};
+use abg_sched::{JobExecutor, PipelinedExecutor};
+use abg_sim::TraceProbe;
+use abg_workload::{mean_gap_for_utilization, mixed_factor_job, ArrivalProcess};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+
+const PROCESSORS: u32 = 8;
+const QUANTUM_LEN: u64 = 10;
+/// Rough `E[T₁]` of the `mixed_factor_job(8, 10, 2, _)` population —
+/// only used to translate ρ into a mean gap; bit-identity holds for
+/// any load, so precision is irrelevant here.
+const APPROX_T1: f64 = 200.0;
+
+fn config(rho: f64, poisson: bool, seed: u64) -> OpenConfig {
+    let gap = mean_gap_for_utilization(rho, PROCESSORS, APPROX_T1);
+    let arrivals = if poisson {
+        ArrivalProcess::Poisson { mean_gap: gap }
+    } else {
+        // A repeating deterministic pattern with the same mean gap,
+        // including back-to-back arrivals (gap 0) and long lulls that
+        // exercise the idle fast-forward.
+        let g = gap.max(2.0) as u64;
+        ArrivalProcess::Trace {
+            gaps: vec![g, 0, 2 * g, g / 2, 3 * g],
+        }
+    };
+    OpenConfig {
+        processors: PROCESSORS,
+        quantum_len: QUANTUM_LEN,
+        arrivals,
+        warmup_jobs: 10,
+        measured_jobs: 40,
+        batches: 4,
+        // Small enough that overloaded cases exhaust the budget quickly;
+        // the HorizonExhausted report must then match bit-for-bit too.
+        max_quanta: 20_000,
+        saturation: SaturationConfig::default(),
+        seed,
+    }
+}
+
+/// Heterogeneous population sampled from the driver's RNG — every
+/// arrival consumes structure draws interleaved with the Poisson gap
+/// draws, pinning the calendar's lookahead-of-one RNG discipline.
+fn make_executor(
+    rng: &mut StdRng,
+    _recycled: Option<Box<dyn JobExecutor + Send>>,
+) -> Box<dyn JobExecutor + Send> {
+    Box::new(PipelinedExecutor::new(mixed_factor_job(
+        8,
+        QUANTUM_LEN,
+        2,
+        rng,
+    )))
+}
+
+fn make_controller(abg: bool) -> Box<dyn RequestCalculator + Send> {
+    if abg {
+        Box::new(AControl::new(0.2))
+    } else {
+        Box::new(AGreedy::new(2.0, 0.8))
+    }
+}
+
+fn assert_outcome_bits_eq(reference: &OpenOutcome, event: &OpenOutcome) {
+    match (reference, event) {
+        (OpenOutcome::Steady(r), OpenOutcome::Steady(e)) => {
+            assert_eq!(r.response.mean.to_bits(), e.response.mean.to_bits());
+            assert_eq!(
+                r.response.half_width.to_bits(),
+                e.response.half_width.to_bits()
+            );
+            assert_eq!(r.response.batches, e.response.batches);
+            assert_eq!(r.response.batch_size, e.response.batch_size);
+            assert_eq!(r.slowdown.p50.to_bits(), e.slowdown.p50.to_bits());
+            assert_eq!(r.slowdown.p95.to_bits(), e.slowdown.p95.to_bits());
+            assert_eq!(r.slowdown.p99.to_bits(), e.slowdown.p99.to_bits());
+            assert_eq!(r.slowdown.max.to_bits(), e.slowdown.max.to_bits());
+            assert_eq!(
+                (r.completed, r.arrivals, r.quanta, r.horizon),
+                (e.completed, e.arrivals, e.quanta, e.horizon)
+            );
+            assert_eq!(
+                r.mean_jobs_in_system.to_bits(),
+                e.mean_jobs_in_system.to_bits()
+            );
+            assert_eq!(
+                r.measured_utilization.to_bits(),
+                e.measured_utilization.to_bits()
+            );
+        }
+        (OpenOutcome::Unstable(r), OpenOutcome::Unstable(e)) => {
+            assert_eq!(r, e, "unstable reports diverged");
+        }
+        (r, e) => panic!("outcome kinds diverged:\n  reference: {r:?}\n  event:     {e:?}"),
+    }
+}
+
+fn run_case<A: Allocator, F: Fn() -> A>(alloc: F, rho: f64, poisson: bool, abg: bool, seed: u64) {
+    let cfg = config(rho, poisson, seed);
+
+    // Uninstrumented fast path: NullProbe declines the replay, so
+    // frozen windows cost O(live) — and the outcome must still match.
+    let reference = ReferenceOpenDriver::run(&cfg, alloc(), make_executor, || make_controller(abg));
+    let event = crate::run_open_system(&cfg, alloc(), make_executor, || make_controller(abg));
+    assert_outcome_bits_eq(&reference, &event);
+
+    // Probed path: the replay must reproduce the reference hook
+    // sequence exactly — completion order and every per-quantum record.
+    let (ref_out, ref_probe) = ReferenceOpenDriver::run_probed(
+        &cfg,
+        alloc(),
+        make_executor,
+        || make_controller(abg),
+        TraceProbe::new().retaining(),
+    );
+    let (ev_out, ev_probe) = run_open_system_probed(
+        &cfg,
+        alloc(),
+        make_executor,
+        || make_controller(abg),
+        TraceProbe::new().retaining(),
+    );
+    assert_outcome_bits_eq(&ref_out, &ev_out);
+    let ref_traces = ref_probe.completed_traces();
+    let ev_traces = ev_probe.completed_traces();
+    assert_eq!(
+        ref_traces.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+        ev_traces.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+        "completion order diverged"
+    );
+    for ((id, r), (_, e)) in ref_traces.iter().zip(ev_traces.iter()) {
+        assert_eq!(r, e, "trace of job {id} diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn event_driver_matches_reference_bit_for_bit(
+        rho in prop_oneof![Just(0.2), Just(0.7), Just(0.95)],
+        poisson in (0u8..2).prop_map(|b| b == 1),
+        deq in (0u8..2).prop_map(|b| b == 1),
+        abg in (0u8..2).prop_map(|b| b == 1),
+        seed in 0u64..u64::MAX,
+    ) {
+        if deq {
+            run_case(|| DynamicEquiPartition::new(PROCESSORS), rho, poisson, abg, seed);
+        } else {
+            run_case(|| Proportional::new(PROCESSORS), rho, poisson, abg, seed);
+        }
+    }
+}

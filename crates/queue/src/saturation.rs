@@ -87,6 +87,36 @@ impl SaturationDetector {
         self.samples.push(jobs_in_system as u64);
     }
 
+    /// Records the same in-system count at `n` consecutive quantum
+    /// boundaries — the population is constant across a frozen-quantum
+    /// window, and replicating the sample keeps the history (and with it
+    /// every future trend evaluation and the reported mean) identical
+    /// to quantum-by-quantum recording.
+    pub fn record_n(&mut self, jobs_in_system: usize, n: u64) {
+        let target = self.samples.len() + n as usize;
+        self.samples.resize(target, jobs_in_system as u64);
+    }
+
+    /// Additional samples until the next trend evaluation would fire
+    /// (`u64::MAX` if the cadence is zero, i.e. never). Event-driven
+    /// drivers end bulk windows at this horizon so a mid-window trend
+    /// trip cannot be skipped over: between evaluation points only the
+    /// hard cap is live, and a constant population cannot newly cross
+    /// it.
+    pub fn quanta_until_trend_check(&self) -> u64 {
+        let every = self.cfg.check_every;
+        if every == 0 {
+            return u64::MAX;
+        }
+        let n = self.samples.len() as u64;
+        let min = self.cfg.min_samples.max(8) as u64;
+        let mut next = (n / every + 1) * every;
+        if next < min {
+            next = min.div_ceil(every) * every;
+        }
+        next - n
+    }
+
     /// Samples recorded so far.
     pub fn len(&self) -> usize {
         self.samples.len()
@@ -210,6 +240,45 @@ mod tests {
             d.check(),
             Some(SaturationReason::InSystemCap { jobs_in_system: 50 })
         ));
+    }
+
+    #[test]
+    fn record_n_is_identical_to_repeated_record() {
+        let mut bulk = detector(64, 16);
+        let mut serial = detector(64, 16);
+        for t in 0..40u64 {
+            bulk.record(t as usize);
+            serial.record(t as usize);
+        }
+        bulk.record_n(7, 100);
+        for _ in 0..100 {
+            serial.record(7);
+        }
+        assert_eq!(bulk.len(), serial.len());
+        assert_eq!(
+            bulk.mean_jobs_in_system().to_bits(),
+            serial.mean_jobs_in_system().to_bits()
+        );
+        assert_eq!(bulk.check(), serial.check());
+    }
+
+    #[test]
+    fn trend_check_horizon_lands_on_evaluation_points() {
+        let mut d = detector(64, 16);
+        // Empty history: first evaluation at max(min_samples, multiple).
+        assert_eq!(d.quanta_until_trend_check(), 64);
+        d.record_n(3, 64);
+        assert_eq!(d.quanta_until_trend_check(), 16);
+        d.record(3);
+        // 65 samples: next multiple of 16 is 80.
+        assert_eq!(d.quanta_until_trend_check(), 15);
+        // Walking exactly to the horizon always lands where the trend
+        // test actually evaluates.
+        for _ in 0..5 {
+            let h = d.quanta_until_trend_check();
+            d.record_n(3, h);
+            assert!((d.len() as u64).is_multiple_of(16) && d.len() >= 64);
+        }
     }
 
     #[test]

@@ -83,6 +83,22 @@ pub trait JobExecutor {
     fn try_reset(&mut self) -> bool {
         false
     }
+
+    /// How many *further* quanta of `steps` steps at `allotment`
+    /// processors would each reproduce `stats` bit-for-bit, given that
+    /// the executor just returned `stats` for exactly such a quantum.
+    ///
+    /// The contract backing frozen-quantum macro-stepping: if this
+    /// returns `m`, then for any `k ≤ m` a single
+    /// `run_quantum(allotment, k·steps)` call must leave the executor in
+    /// the same state as `k` individual `run_quantum(allotment, steps)`
+    /// calls, each of which would have returned `stats`. The default of
+    /// `0` (no lookahead) is always correct and keeps the engine on the
+    /// quantum-by-quantum path for executors without an analysis.
+    fn steady_quanta(&self, allotment: u32, steps: u64, stats: &QuantumStats) -> u64 {
+        let _ = (allotment, steps, stats);
+        0
+    }
 }
 
 /// Mutable references are executors too, so a driver that owns its
@@ -111,6 +127,9 @@ impl<T: JobExecutor + ?Sized> JobExecutor for &mut T {
     fn try_reset(&mut self) -> bool {
         (**self).try_reset()
     }
+    fn steady_quanta(&self, allotment: u32, steps: u64, stats: &QuantumStats) -> u64 {
+        (**self).steady_quanta(allotment, steps, stats)
+    }
 }
 
 /// Boxed executors are executors too, so engines generic over the
@@ -137,5 +156,8 @@ impl<T: JobExecutor + ?Sized> JobExecutor for Box<T> {
     }
     fn try_reset(&mut self) -> bool {
         (**self).try_reset()
+    }
+    fn steady_quanta(&self, allotment: u32, steps: u64, stats: &QuantumStats) -> u64 {
+        (**self).steady_quanta(allotment, steps, stats)
     }
 }

@@ -152,6 +152,34 @@ impl<J: Borrow<PhasedJob>> JobExecutor for PipelinedExecutor<J> {
         self.reset();
         true
     }
+
+    fn steady_quanta(&self, allotment: u32, steps: u64, stats: &QuantumStats) -> u64 {
+        if self.is_complete() || stats.completed || steps == 0 {
+            return 0;
+        }
+        if allotment == 0 {
+            // Zero allotment executes nothing: every further quantum is
+            // the same all-zero record until the allotment changes.
+            return u64::MAX;
+        }
+        // Inside one phase a quantum at (allotment, steps) consumes
+        // `steps · rate` tasks in level-major order, so it reproduces
+        // `stats` exactly while the phase has strictly more than that
+        // many tasks left (the strict inequality keeps `completed` and
+        // the partial-progress branch identical).
+        let p = self.job.borrow().phases()[self.phase];
+        let rate = (allotment as u64).min(p.width);
+        let per_quantum = steps * rate;
+        let predicted_span = per_quantum as f64 / p.width as f64;
+        if stats.steps_worked != steps
+            || stats.work != per_quantum
+            || stats.span.to_bits() != predicted_span.to_bits()
+        {
+            return 0;
+        }
+        let remaining = p.work() - self.pos;
+        (remaining.saturating_sub(1)) / per_quantum
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +281,62 @@ mod tests {
         let s = ex.run_quantum(0, 100);
         assert_eq!(s.work, 0);
         assert!(!ex.is_complete());
+    }
+
+    #[test]
+    fn steady_quanta_predicts_bitwise_repeats_and_bulk_equivalence() {
+        // Drive a long constant phase one quantum at a time; after each
+        // quantum the steady_quanta prediction must hold bit-for-bit for
+        // every predicted repeat, and a single bulk call must land the
+        // executor in the same state as the repeats it replaces.
+        for (a, steps) in [(3u32, 7u64), (16, 5), (10, 4)] {
+            let job = PhasedJob::constant(10, 100); // 1000 tasks
+            let mut ex = PipelinedExecutor::new(&job);
+            let stats = ex.run_quantum(a, steps);
+            let m = ex.steady_quanta(a, steps, &stats);
+            assert!(m > 0, "long phase must freeze (a={a}, steps={steps})");
+            let mut serial = ex.clone();
+            for j in 0..m {
+                let repeat = serial.run_quantum(a, steps);
+                assert_eq!(repeat.work, stats.work, "repeat {j} (a={a})");
+                assert_eq!(repeat.steps_worked, stats.steps_worked);
+                assert_eq!(repeat.span.to_bits(), stats.span.to_bits());
+                assert!(!repeat.completed);
+            }
+            // One past the prediction must differ (phase tail or completion).
+            let past = serial.run_quantum(a, steps);
+            assert!(
+                past.work != stats.work || past.completed,
+                "prediction m={m} was not tight (a={a}, steps={steps})"
+            );
+            let mut bulk = ex.clone();
+            bulk.run_quantum(a, m * steps);
+            assert_eq!(bulk.completed_work(), {
+                let mut want = ex.clone();
+                for _ in 0..m {
+                    want.run_quantum(a, steps);
+                }
+                assert_eq!(want.elapsed_steps(), bulk.elapsed_steps());
+                assert_eq!(want.current_phase(), bulk.current_phase());
+                want.completed_work()
+            });
+        }
+    }
+
+    #[test]
+    fn steady_quanta_edge_cases() {
+        let job = PhasedJob::constant(4, 10);
+        let mut ex = PipelinedExecutor::new(&job);
+        let zero = ex.run_quantum(0, 8);
+        assert_eq!(
+            ex.steady_quanta(0, 8, &zero),
+            u64::MAX,
+            "zero allotment repeats forever"
+        );
+        // Drain the job: a complete executor never freezes.
+        let last = ex.run_quantum(64, 1000);
+        assert!(last.completed);
+        assert_eq!(ex.steady_quanta(64, 1000, &last), 0);
     }
 
     #[test]

@@ -67,6 +67,21 @@ pub trait Probe {
     fn wants_availability(&self) -> bool {
         false
     }
+
+    /// Whether the core must replay the per-quantum hook sequence
+    /// ([`on_quantum_start`], [`on_grant`], [`on_quantum_end`]) for every
+    /// quantum covered by a frozen-quantum bulk advance, so this probe
+    /// sees records indistinguishable from quantum-by-quantum stepping.
+    /// Defaults to `true` — an unknown probe gets the faithful replay;
+    /// probes that keep nothing ([`NullProbe`], a disabled
+    /// [`TraceProbe`]) decline and let the core skip the loop entirely.
+    ///
+    /// [`on_quantum_start`]: Probe::on_quantum_start
+    /// [`on_grant`]: Probe::on_grant
+    /// [`on_quantum_end`]: Probe::on_quantum_end
+    fn wants_frozen_replay(&self) -> bool {
+        true
+    }
 }
 
 /// The do-nothing probe: every hook is the empty default, so a core
@@ -75,7 +90,11 @@ pub trait Probe {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NullProbe;
 
-impl Probe for NullProbe {}
+impl Probe for NullProbe {
+    fn wants_frozen_replay(&self) -> bool {
+        false
+    }
+}
 
 /// Collects per-job [`QuantumRecord`] traces from any driver.
 ///
@@ -173,5 +192,9 @@ impl Probe for TraceProbe {
 
     fn wants_availability(&self) -> bool {
         self.enabled && self.want_availability
+    }
+
+    fn wants_frozen_replay(&self) -> bool {
+        self.enabled
     }
 }

@@ -38,9 +38,9 @@
 //! fixed-quantum jobs can share a machine.
 
 use crate::trace::QuantumRecord;
-use abg_alloc::Allocator;
+use abg_alloc::{ceil_request, AllocationStability, Allocator};
 use abg_control::Controller;
-use abg_sched::JobExecutor;
+use abg_sched::{JobExecutor, QuantumStats};
 
 /// One admitted job inside the core.
 struct Slot<E, C> {
@@ -114,6 +114,17 @@ pub struct QuantumCore<E, C, A, P> {
     allotments: Vec<u32>,
     availabilities: Vec<u32>,
     retained: Vec<Slot<E, C>>,
+    // Frozen-quantum cache: the full grant picture of the last real
+    // quantum (`live`/`allotments`/`availabilities` above stay intact
+    // between steps and complete it). Valid only while replaying that
+    // quantum verbatim would be correct — see `advance_frozen`.
+    last_stats: Vec<QuantumStats>,
+    last_len: u64,
+    last_have_avail: bool,
+    frozen_valid: bool,
+    // advance_frozen scratch.
+    steady: Vec<bool>,
+    frozen_ceils: Vec<u32>,
 }
 
 impl<E, C, A, P> QuantumCore<E, C, A, P>
@@ -148,6 +159,12 @@ where
             allotments: Vec::new(),
             availabilities: Vec::new(),
             retained: Vec::new(),
+            last_stats: Vec::new(),
+            last_len: 0,
+            last_have_avail: false,
+            frozen_valid: false,
+            steady: Vec::new(),
+            frozen_ceils: Vec::new(),
         }
     }
 
@@ -174,6 +191,8 @@ where
     pub fn admit(&mut self, executor: E, controller: C, release_step: u64) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
+        // The cached quantum no longer describes the full live set.
+        self.frozen_valid = false;
         let request = controller.initial_request();
         let next_len = controller.initial_quantum_len(self.default_len);
         self.slots.push(Slot {
@@ -212,6 +231,19 @@ where
         self.slots.len()
     }
 
+    /// The length the next quantum would run at if it can be frozen —
+    /// i.e. the length of the last executed quantum while the
+    /// frozen-window cache is valid. `None` when the cache was
+    /// invalidated (completion, admission, idle skip, or reallocation
+    /// overhead), in which case [`advance_frozen`] would decline
+    /// anyway. Event-driven drivers use this to convert time horizons
+    /// (the next arrival) into quantum counts.
+    ///
+    /// [`advance_frozen`]: QuantumCore::advance_frozen
+    pub fn frozen_quantum_len(&self) -> Option<u64> {
+        self.frozen_valid.then_some(self.last_len)
+    }
+
     /// Whether any in-system job is live at the current boundary.
     pub fn any_live(&self) -> bool {
         self.slots.iter().any(|s| s.release_step <= self.now)
@@ -248,6 +280,7 @@ where
     /// work would corrupt the schedule.
     pub fn skip_idle_until(&mut self, release: u64) {
         debug_assert!(!self.any_live(), "skip_idle_until with live jobs");
+        self.frozen_valid = false;
         let l = self.default_len;
         self.now = release.div_ceil(l).max(self.now / l + 1) * l;
     }
@@ -319,6 +352,8 @@ where
             .allocate_into(&self.requests, &mut self.allotments);
         debug_assert_eq!(self.allotments.len(), self.live.len());
         let mut finished = 0usize;
+        let mut had_overhead = false;
+        self.last_stats.clear();
         for k in 0..self.live.len() {
             let i = self.live[k];
             let allotment = self.allotments[k];
@@ -336,6 +371,7 @@ where
             } else {
                 0
             };
+            had_overhead |= overhead > 0;
             job.prev_allotment = Some(allotment);
             self.probe
                 .on_grant(job.id, job.request, allotment, availability);
@@ -358,6 +394,7 @@ where
             self.probe.on_quantum_end(job.id, &record);
             job.request = job.controller.observe(&stats);
             job.next_len = job.controller.next_quantum_len(self.default_len);
+            self.last_stats.push(stats);
         }
         if finished > 0 {
             // Selective drain preserving admission order (allocation
@@ -391,6 +428,191 @@ where
         }
         self.now = now + len;
         self.quanta += 1;
+        // The cached quantum can only be replayed if the live set is
+        // unchanged (no completions) and the quantum ran full-length for
+        // everyone (no reallocation overhead, which a frozen repeat
+        // would not burn).
+        self.frozen_valid = finished == 0 && !had_overhead;
+        self.last_len = len;
+        self.last_have_avail = have_avail;
+    }
+
+    /// Bulk-advances up to `max_quanta` *frozen* quanta — quanta that
+    /// would be bit-for-bit repeats of the last real quantum — and
+    /// returns how many were advanced (possibly 0).
+    ///
+    /// A quantum is frozen when replaying it changes nothing the next
+    /// allocation could see: the live set is unchanged (the caller
+    /// guarantees no arrival is due within the window; completions are
+    /// excluded by the executors' own lookahead), every executor
+    /// certifies via [`JobExecutor::steady_quanta`] that it would
+    /// reproduce its statistics, the allocator certifies via
+    /// [`Allocator::allocation_stability`] that re-running it would
+    /// reproduce the allotments, and every controller opts in via
+    /// [`Controller::supports_frozen_stepping`]. Controllers whose state
+    /// still drifts (`is_steady` false) are replayed per-quantum in a
+    /// micro-loop — bit-identical to stepping — and the window closes
+    /// early if a drift would change an integerized request or a quantum
+    /// length; fully steady windows skip even that loop and cost `O(live
+    /// jobs)` regardless of length.
+    ///
+    /// Probes observe the window according to
+    /// [`Probe::wants_frozen_replay`](crate::Probe::wants_frozen_replay):
+    /// a replaying probe receives exactly the hook sequence
+    /// quantum-by-quantum stepping would have produced; a declining
+    /// probe (e.g. [`NullProbe`](crate::NullProbe)) sees nothing and the
+    /// window costs no per-quantum work at all.
+    ///
+    /// Executor state, span/waste accounting, per-job quantum counts and
+    /// the clock all advance exactly as `k` calls of
+    /// [`step_quantum`](QuantumCore::step_quantum) would have advanced
+    /// them; fingerprint suites pin the equivalence.
+    pub fn advance_frozen(&mut self, max_quanta: u64) -> u64 {
+        if !self.frozen_valid || max_quanta == 0 || self.live.is_empty() {
+            return 0;
+        }
+        let stability = self.allocator.allocation_stability();
+        if stability == AllocationStability::Unstable {
+            return 0;
+        }
+        let len = self.last_len;
+        // The next quantum must run at the cached length.
+        let mut next_len = u64::MAX;
+        for &i in &self.live {
+            next_len = next_len.min(self.slots[i].next_len);
+        }
+        if next_len != len {
+            return 0;
+        }
+        // Every controller must opt in; record which are already at a
+        // bitwise fixed point.
+        self.steady.clear();
+        let mut all_steady = true;
+        for (idx, &i) in self.live.iter().enumerate() {
+            let slot = &self.slots[i];
+            if !slot.controller.supports_frozen_stepping() {
+                return 0;
+            }
+            let steady = slot.controller.is_steady(&self.last_stats[idx]);
+            all_steady &= steady;
+            self.steady.push(steady);
+        }
+        // Exact-request allocations (and recorded availabilities, whose
+        // probes see raw requests under any policy) tolerate no drift.
+        let want_avail = self.record_availability || self.probe.wants_availability();
+        if !all_steady && (stability == AllocationStability::ByExactRequests || want_avail) {
+            return 0;
+        }
+        // The window replays the allotments the last real quantum
+        // computed from its *pre-observe* requests; the next quantum
+        // would allocate from the *post-observe* ones. They must still
+        // produce the same grants: same ceilings for ceiling-driven
+        // policies, bitwise-same requests for exact-request policies and
+        // for replaying cached availabilities.
+        for (idx, &i) in self.live.iter().enumerate() {
+            let cur = self.slots[i].request;
+            let prev = self.requests[idx];
+            let raw_equal = cur.to_bits() == prev.to_bits();
+            let stable = match stability {
+                AllocationStability::Unstable => unreachable!("filtered above"),
+                AllocationStability::ByCeilings => ceil_request(cur) == ceil_request(prev),
+                AllocationStability::ByExactRequests => raw_equal,
+            };
+            if !stable || (want_avail && !raw_equal) {
+                return 0;
+            }
+        }
+        // The executors bound the window: none may leave its steady
+        // regime (phase boundary / completion) inside it.
+        let mut k_max = max_quanta;
+        for (idx, &i) in self.live.iter().enumerate() {
+            let slot = &self.slots[i];
+            let m = slot
+                .executor
+                .steady_quanta(self.allotments[idx], len, &self.last_stats[idx]);
+            k_max = k_max.min(m);
+        }
+        if k_max == 0 {
+            return 0;
+        }
+        let replay = self.probe.wants_frozen_replay();
+        let k = if !replay && all_steady {
+            // Fast path: nothing inside the window can change any state
+            // the window itself consults, so its length is known now.
+            k_max
+        } else {
+            // Micro-loop: replay the probe hooks and/or the drifting
+            // controllers quantum by quantum, closing the window if a
+            // drift would change an integerized request or quantum
+            // length (the next allocation could then differ).
+            self.frozen_ceils.clear();
+            self.frozen_ceils.extend(
+                self.live
+                    .iter()
+                    .map(|&i| ceil_request(self.slots[i].request)),
+            );
+            let mut k = 0;
+            let mut stop_after = false;
+            while k < k_max && !stop_after {
+                let now_q = self.now + k * len;
+                if replay {
+                    self.probe.on_quantum_start(now_q, len, self.live.len());
+                }
+                for idx in 0..self.live.len() {
+                    let i = self.live[idx];
+                    let allotment = self.allotments[idx];
+                    let availability = if self.last_have_avail {
+                        Some(self.availabilities[idx])
+                    } else {
+                        None
+                    };
+                    let job = &mut self.slots[i];
+                    if replay {
+                        self.probe
+                            .on_grant(job.id, job.request, allotment, availability);
+                        let record = QuantumRecord {
+                            index: (job.quanta + k + 1) as u32,
+                            start_step: now_q,
+                            request: job.request,
+                            allotment,
+                            availability,
+                            stats: self.last_stats[idx],
+                        };
+                        self.probe.on_quantum_end(job.id, &record);
+                    }
+                    if !self.steady[idx] {
+                        let prev_next_len = job.next_len;
+                        job.request = job.controller.observe(&self.last_stats[idx]);
+                        job.next_len = job.controller.next_quantum_len(self.default_len);
+                        if ceil_request(job.request) != self.frozen_ceils[idx]
+                            || job.next_len != prev_next_len
+                        {
+                            stop_after = true;
+                        }
+                        self.steady[idx] = job.controller.is_steady(&self.last_stats[idx]);
+                    }
+                }
+                k += 1;
+            }
+            if stop_after {
+                // The quantum after this window differs; force the
+                // caller back through a real step.
+                self.frozen_valid = false;
+            }
+            k
+        };
+        // Catch every executor and counter up in one shot; the
+        // steady_quanta contract makes the bulk call state-equivalent
+        // to `k` per-quantum calls.
+        for (idx, &i) in self.live.iter().enumerate() {
+            let job = &mut self.slots[i];
+            job.executor.run_quantum(self.allotments[idx], k * len);
+            job.quanta += k;
+            job.waste += k * self.last_stats[idx].waste();
+        }
+        self.now += k * len;
+        self.quanta += k;
+        k
     }
 }
 
@@ -503,6 +725,88 @@ mod tests {
         assert_eq!(probe.grants, probe.ends);
         assert_eq!(probe.ends, done.iter().map(|c| c.quanta).sum::<u64>());
         assert!(probe.starts > 0);
+    }
+
+    #[test]
+    fn frozen_advance_matches_stepping_with_trace_replay() {
+        // Two pipelined jobs under DEQ with constant requests: after one
+        // real quantum the rest of the run is frozen. Advancing the
+        // frozen window in bulk must leave clock, counters, completions
+        // and the full per-quantum trace bit-identical to stepping.
+        use abg_dag::PhasedJob;
+        use abg_sched::PipelinedExecutor;
+        let build = || {
+            let mut core = QuantumCore::new(
+                DynamicEquiPartition::new(8),
+                10,
+                TraceProbe::new().retaining().with_availability(),
+            );
+            core.admit(
+                PipelinedExecutor::new(PhasedJob::constant(3, 200)),
+                ConstantRequest::new(3.0),
+                0,
+            );
+            core.admit(
+                PipelinedExecutor::new(PhasedJob::constant(4, 300)),
+                ConstantRequest::new(4.0),
+                0,
+            );
+            core
+        };
+        let mut stepped = build();
+        let mut done_stepped = Vec::new();
+        while stepped.jobs_in_system() > 0 {
+            stepped.step_quantum(&mut done_stepped);
+        }
+
+        let mut frozen = build();
+        let mut done_frozen = Vec::new();
+        let mut bulk_advanced = 0u64;
+        while frozen.jobs_in_system() > 0 {
+            frozen.step_quantum(&mut done_frozen);
+            bulk_advanced += frozen.advance_frozen(u64::MAX / 1024);
+        }
+        assert!(bulk_advanced > 0, "the frozen path never engaged");
+        assert_eq!(frozen.now(), stepped.now());
+        assert_eq!(frozen.quanta(), stepped.quanta());
+        assert_eq!(done_frozen.len(), done_stepped.len());
+        for (f, s) in done_frozen.iter().zip(&done_stepped) {
+            assert_eq!(
+                (f.id, f.completion, f.waste, f.quanta),
+                (s.id, s.completion, s.waste, s.quanta)
+            );
+        }
+        let t_f = frozen.into_probe().into_completed_traces();
+        let t_s = stepped.into_probe().into_completed_traces();
+        assert_eq!(t_f.len(), t_s.len());
+        for ((id_f, tr_f), (id_s, tr_s)) in t_f.iter().zip(&t_s) {
+            assert_eq!(id_f, id_s);
+            assert_eq!(tr_f.len(), tr_s.len(), "job {id_f}: trace length");
+            for (a, b) in tr_f.iter().zip(tr_s) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.start_step, b.start_step);
+                assert_eq!(a.request.to_bits(), b.request.to_bits());
+                assert_eq!(a.allotment, b.allotment);
+                assert_eq!(a.availability, b.availability);
+                assert_eq!(a.stats.work, b.stats.work);
+                assert_eq!(a.stats.span.to_bits(), b.stats.span.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_advance_declines_without_opt_ins() {
+        // AdaptiveRateControl does not declare frozen support, so the
+        // core must refuse to macro-step it even when nothing moves.
+        let mut core = QuantumCore::new(DynamicEquiPartition::new(8), 10, NullProbe);
+        core.admit(
+            job(2, 400),
+            abg_control::AdaptiveRateControl::new(0.5, 0.1),
+            0,
+        );
+        let mut done = Vec::new();
+        core.step_quantum(&mut done);
+        assert_eq!(core.advance_frozen(1000), 0);
     }
 
     #[test]
