@@ -653,16 +653,19 @@ fn baseline_steps_per_sec(json: &str, kernel: &str) -> Option<f64> {
 /// macro-stepping chain, the wide-frontier bulk paths (tree and
 /// bundle), the event-driven open-system driver at moderate load
 /// (`open_system`) and in its high-load macro-stepping regime
-/// (`open_event`), and the monomorphized unified quantum core in mixed
-/// closed+open use. All are stable well within the 30% band on an
+/// (`open_event`), the sharded open-system engine whose aggregate
+/// committed quanta price the per-shard population win
+/// (`open_sharded`), and the monomorphized unified quantum core in
+/// mixed closed+open use. All are stable well within the 30% band on an
 /// otherwise idle machine, so a trip means a real regression, not
 /// noise.
-const GATED_KERNELS: [&str; 6] = [
+const GATED_KERNELS: [&str; 7] = [
     "chain_macro",
     "forkjoin_tree",
     "forkjoin_bundle",
     "open_system",
     "open_event",
+    "open_sharded",
     "unified_engine",
 ];
 
@@ -806,8 +809,8 @@ fn open_json(mode: &str, cfg: &OpenSystemConfig, rows: &[OpenSystemRow]) -> Stri
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     s.push_str(&format!("  \"seed\": {},\n", cfg.seed));
     s.push_str(&format!(
-        "  \"processors\": {}, \"quantum_len\": {},\n",
-        cfg.processors, cfg.quantum_len
+        "  \"processors\": {}, \"quantum_len\": {}, \"shards\": {},\n",
+        cfg.processors, cfg.quantum_len, cfg.shards
     ));
     s.push_str(&format!(
         "  \"fingerprint\": \"{:#018x}\",\n",
@@ -841,6 +844,9 @@ fn open(opts: &Options) -> Result<(), String> {
     }
     if let Some(rho) = opts.rho {
         cfg.rhos = vec![rho];
+    }
+    if let Some(shards) = opts.shards {
+        cfg.shards = shards;
     }
     // Reject an inconsistent measurement setup with a message instead
     // of letting the sweep panic mid-run.
@@ -877,10 +883,16 @@ fn open(opts: &Options) -> Result<(), String> {
         opts,
     );
     if !opts.csv {
+        let sharding = if cfg.shards > 1 {
+            format!(" across {} shards", cfg.shards)
+        } else {
+            String::new()
+        };
         println!(
-            "E[T1] = {:.1} steps/job on P = {}; unstable points tripped saturation detection",
+            "E[T1] = {:.1} steps/job on P = {}{sharding}; unstable points tripped saturation \
+             detection",
             rows.first().map(|r| r.expected_work).unwrap_or(f64::NAN),
-            cfg.processors
+            cfg.processors,
         );
         println!();
     }
@@ -982,5 +994,39 @@ mod tests {
         missing.retain(|r| r.kernel != "open_system");
         let err = bench_check(path, &missing).unwrap_err();
         assert!(err.contains("did not run open_system"), "{err}");
+    }
+
+    /// `open` with an impossible shard count surfaces the typed
+    /// [`abg_queue::ConfigError`] message through the CLI's own error
+    /// path (the validation runs before any simulation, so these fail
+    /// fast).
+    #[test]
+    fn open_rejects_bad_shard_counts_with_the_typed_messages() {
+        let base = Options {
+            command: Some("open".into()),
+            smoke: true,
+            ..Options::default()
+        };
+        let err = open(&Options {
+            shards: Some(0),
+            ..base.clone()
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            "invalid open-system configuration: need at least one shard"
+        );
+        // The smoke machine has 16 processors; 17 shards cannot all own
+        // one.
+        let err = open(&Options {
+            shards: Some(17),
+            ..base
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            "invalid open-system configuration: need at least one processor per shard \
+             (17 shards > 16 processors)"
+        );
     }
 }

@@ -18,6 +18,11 @@ pub struct Options {
     pub seed: Option<u64>,
     /// Restrict the `open` sweep to a single offered utilization.
     pub rho: Option<f64>,
+    /// Processor groups for the sharded open-system engine (the `open`
+    /// subcommand). Parsed as any integer; the experiment config's
+    /// typed validation rejects impossible counts (zero, or more shards
+    /// than processors) with its own error message.
+    pub shards: Option<u32>,
     /// Append ASCII charts after the tables.
     pub plot: bool,
     /// Write machine-readable JSON output (the `bench` subcommand).
@@ -68,6 +73,8 @@ flags:
                        more than 30% below the baseline JSON at PATH
   --seed N             override the experiment seed
   --rho R              open: sweep only the given offered utilization
+  --shards G           open: split the machine into G independent processor
+                       groups (sharded engine; 1 = the unsharded driver)
   --threads N          harness worker count (overrides ABG_THREADS; results
                        are identical for any count, only wall-clock changes)
   -h, --help           this text";
@@ -100,6 +107,13 @@ flags:
                         return Err("--rho must be a positive utilization".into());
                     }
                     opts.rho = Some(rho);
+                }
+                "--shards" => {
+                    let v = it.next().ok_or("--shards needs a value")?;
+                    let n: u32 = v
+                        .parse()
+                        .map_err(|_| format!("invalid shard count '{v}'"))?;
+                    opts.shards = Some(n);
                 }
                 "--threads" => {
                     let v = it.next().ok_or("--threads needs a value")?;
@@ -205,6 +219,18 @@ mod tests {
         assert!(parse(&["open", "--rho", "high"]).is_err());
         assert!(parse(&["open", "--rho", "-0.5"]).is_err());
         assert!(parse(&["open", "--rho", "0"]).is_err());
+    }
+
+    #[test]
+    fn parses_shards_flag() {
+        let o = parse(&["open", "--smoke", "--shards", "4"]).unwrap();
+        assert_eq!(o.shards, Some(4));
+        assert!(parse(&["open"]).unwrap().shards.is_none());
+        assert!(parse(&["open", "--shards"]).is_err());
+        assert!(parse(&["open", "--shards", "many"]).is_err());
+        // Zero parses: the typed config validation owns that rejection,
+        // so the CLI surfaces its message rather than a parse error.
+        assert_eq!(parse(&["open", "--shards", "0"]).unwrap().shards, Some(0));
     }
 
     #[test]

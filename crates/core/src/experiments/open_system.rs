@@ -14,7 +14,9 @@
 use super::{parallel_map, task_seed};
 use abg_alloc::DynamicEquiPartition;
 use abg_control::{AControl, AGreedy, RequestCalculator};
-use abg_queue::{run_open_system, OpenConfig, OpenOutcome, SaturationConfig};
+use abg_queue::{
+    run_open_sharded, OpenConfig, OpenOutcome, SaturationConfig, ShardRouting, ShardedOpenConfig,
+};
 use abg_sched::{JobExecutor, PipelinedExecutor};
 use abg_workload::{expected_work, mean_gap_for_utilization, mixed_factor_job, ArrivalProcess};
 use rand::rngs::StdRng;
@@ -54,6 +56,12 @@ pub struct OpenSystemConfig {
     pub work_samples: u32,
     /// Saturation-detector tuning.
     pub saturation: SaturationConfig,
+    /// Processor groups for the sharded engine. `1` (the presets'
+    /// value) runs the unsharded event-driven driver bit-for-bit;
+    /// larger counts split the machine into independent per-shard
+    /// cores with round-robin arrival routing (see
+    /// [`abg_queue::shard`]).
+    pub shards: u32,
     /// ABG convergence rate `r`.
     pub rate: f64,
     /// A-Greedy responsiveness `ρ`.
@@ -83,6 +91,7 @@ impl OpenSystemConfig {
             max_quanta: 20_000_000,
             work_samples: 4096,
             saturation: SaturationConfig::default(),
+            shards: 1,
             rate: 0.2,
             responsiveness: 2.0,
             utilization: 0.8,
@@ -105,6 +114,7 @@ impl OpenSystemConfig {
             max_quanta: 500_000,
             work_samples: 512,
             saturation: SaturationConfig::default(),
+            shards: 1,
             rate: 0.2,
             responsiveness: 2.0,
             utilization: 0.8,
@@ -112,22 +122,26 @@ impl OpenSystemConfig {
         }
     }
 
-    /// Validates the per-point [`OpenConfig`] this sweep would run, so
-    /// front ends can reject an inconsistent measurement setup with a
-    /// typed error up front instead of panicking mid-sweep. (The
-    /// arrival gap and seed vary per point but play no part in config
-    /// validity.)
+    /// Validates the per-point [`ShardedOpenConfig`] this sweep would
+    /// run, so front ends can reject an inconsistent measurement setup
+    /// (including a bad shard count) with a typed error up front
+    /// instead of panicking mid-sweep. (The arrival gap and seed vary
+    /// per point but play no part in config validity.)
     pub fn validate(&self) -> Result<(), abg_queue::ConfigError> {
-        OpenConfig {
-            processors: self.processors,
-            quantum_len: self.quantum_len,
-            arrivals: ArrivalProcess::Poisson { mean_gap: 1.0 },
-            warmup_jobs: self.warmup_jobs,
-            measured_jobs: self.measured_jobs,
-            batches: self.batches,
-            max_quanta: self.max_quanta,
-            saturation: self.saturation,
-            seed: self.seed,
+        ShardedOpenConfig {
+            open: OpenConfig {
+                processors: self.processors,
+                quantum_len: self.quantum_len,
+                arrivals: ArrivalProcess::Poisson { mean_gap: 1.0 },
+                warmup_jobs: self.warmup_jobs,
+                measured_jobs: self.measured_jobs,
+                batches: self.batches,
+                max_quanta: self.max_quanta,
+                saturation: self.saturation,
+                seed: self.seed,
+            },
+            shards: self.shards,
+            routing: ShardRouting::RoundRobin,
         }
         .validate()
     }
@@ -210,18 +224,23 @@ pub struct OpenSystemRow {
 }
 
 fn run_point(cfg: &OpenSystemConfig, mean_gap: f64, index: u64, which: Scheduler) -> OpenOutcome {
-    let open = OpenConfig {
-        processors: cfg.processors,
-        quantum_len: cfg.quantum_len,
-        arrivals: ArrivalProcess::Poisson { mean_gap },
-        warmup_jobs: cfg.warmup_jobs,
-        measured_jobs: cfg.measured_jobs,
-        batches: cfg.batches,
-        max_quanta: cfg.max_quanta,
-        saturation: cfg.saturation,
-        // Per-ρ seed shared by BOTH schedulers: identical rng, identical
-        // arrival times, identical job structures — a paired comparison.
-        seed: task_seed(cfg.seed, index, 1),
+    let sharded = ShardedOpenConfig {
+        open: OpenConfig {
+            processors: cfg.processors,
+            quantum_len: cfg.quantum_len,
+            arrivals: ArrivalProcess::Poisson { mean_gap },
+            warmup_jobs: cfg.warmup_jobs,
+            measured_jobs: cfg.measured_jobs,
+            batches: cfg.batches,
+            max_quanta: cfg.max_quanta,
+            saturation: cfg.saturation,
+            // Per-ρ seed shared by BOTH schedulers: identical rng,
+            // identical arrival times, identical job structures — a
+            // paired comparison.
+            seed: task_seed(cfg.seed, index, 1),
+        },
+        shards: cfg.shards,
+        routing: ShardRouting::RoundRobin,
     };
     let (max_factor, quantum_len, pairs) = (cfg.max_factor, cfg.quantum_len, cfg.pairs);
     // Jobs here are heterogeneous (each arrival samples a fresh phase
@@ -237,21 +256,24 @@ fn run_point(cfg: &OpenSystemConfig, mean_gap: f64, index: u64, which: Scheduler
             rng,
         )))
     };
+    // The shard pool honors `ABG_THREADS` like the sweep's own
+    // `parallel_map`; the outcome is thread-count invariant either way,
+    // and `shards = 1` delegates straight to `run_open_system`.
     match which {
         Scheduler::Abg => {
             let rate = cfg.rate;
-            run_open_system(
-                &open,
-                DynamicEquiPartition::new(cfg.processors),
+            run_open_sharded(
+                &sharded,
+                DynamicEquiPartition::new,
                 make_executor,
                 move || -> Box<dyn RequestCalculator + Send> { Box::new(AControl::new(rate)) },
             )
         }
         Scheduler::AGreedy => {
             let (rho, delta) = (cfg.responsiveness, cfg.utilization);
-            run_open_system(
-                &open,
-                DynamicEquiPartition::new(cfg.processors),
+            run_open_sharded(
+                &sharded,
+                DynamicEquiPartition::new,
                 make_executor,
                 move || -> Box<dyn RequestCalculator + Send> { Box::new(AGreedy::new(rho, delta)) },
             )
@@ -346,6 +368,39 @@ mod tests {
         let a = crate::experiments::open_fingerprint(&open_system_sweep(&cfg));
         let b = crate::experiments::open_fingerprint(&open_system_sweep(&cfg));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharded_sweep_is_steady_and_deterministic() {
+        // The sharded engine behind the same sweep front end: stable
+        // below saturation, flagged unstable above it, and bit-level
+        // reproducible across repeat runs. (The overload point sits at
+        // ρ = 2 here: decimated smoke-scale shards see a quarter of the
+        // arrivals each, so the queue-growth trend needs a steeper ramp
+        // than the aggregate smoke sweep's 1.2 to trip before the tiny
+        // measurement target drains.)
+        let mut cfg = OpenSystemConfig::smoke();
+        cfg.shards = 4;
+        cfg.rhos = vec![0.4, 2.0];
+        let rows = open_system_sweep(&cfg);
+        assert!(rows[0].abg.stable && rows[0].agreedy.stable);
+        assert!(rows[0].abg.slowdown_p50 >= 1.0);
+        assert!(!rows[1].abg.stable && !rows[1].agreedy.stable);
+        let a = crate::experiments::open_fingerprint(&rows);
+        let b = crate::experiments::open_fingerprint(&open_system_sweep(&cfg));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validate_rejects_bad_shard_counts() {
+        let mut cfg = OpenSystemConfig::smoke();
+        cfg.shards = 0;
+        assert_eq!(cfg.validate(), Err(abg_queue::ConfigError::NoShards));
+        cfg.shards = cfg.processors + 1;
+        assert!(matches!(
+            cfg.validate(),
+            Err(abg_queue::ConfigError::TooManyShards { .. })
+        ));
     }
 
     #[test]

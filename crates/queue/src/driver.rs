@@ -81,6 +81,17 @@ pub enum ConfigError {
     },
     /// `max_quanta == 0`: no quanta budget to run under.
     NoQuantaBudget,
+    /// `shards == 0` in a sharded configuration: the engine needs at
+    /// least one processor group.
+    NoShards,
+    /// More shards than processors — some shard would get an empty
+    /// machine.
+    TooManyShards {
+        /// The configured shard count.
+        shards: u32,
+        /// The configured machine size.
+        processors: u32,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -97,6 +108,11 @@ impl std::fmt::Display for ConfigError {
                 "need at least one observation per batch ({measured_jobs} jobs < {batches} batches)"
             ),
             ConfigError::NoQuantaBudget => write!(f, "need a positive quanta budget"),
+            ConfigError::NoShards => write!(f, "need at least one shard"),
+            ConfigError::TooManyShards { shards, processors } => write!(
+                f,
+                "need at least one processor per shard ({shards} shards > {processors} processors)"
+            ),
         }
     }
 }

@@ -25,6 +25,12 @@
 //!   [`percentiles`] for steady-state output analysis;
 //! * [`saturation`] — the [`SaturationDetector`] queue-length trend
 //!   test that aborts never-steady runs (ρ ≥ 1) instead of hanging;
+//! * [`shard`] — [`run_open_sharded`]: the machine partitioned into
+//!   processor groups, one independent per-shard core per group on a
+//!   worker pool (honoring `ABG_THREADS`), with deterministic arrival
+//!   routing and a stable-order merge so the outcome never depends on
+//!   thread count or schedule; `shards = 1` is [`run_open_system`]
+//!   bit-for-bit;
 //! * `reference` (tests / `test-support` feature only) — the legacy
 //!   quantum-by-quantum loop, kept as the differential-testing ground
 //!   truth for the event-driven driver.
@@ -76,6 +82,7 @@ mod lockstep;
 #[cfg(any(test, feature = "test-support"))]
 pub mod reference;
 pub mod saturation;
+pub mod shard;
 pub mod stats;
 
 pub use driver::{
@@ -86,4 +93,8 @@ pub use events::ArrivalCalendar;
 #[cfg(any(test, feature = "test-support"))]
 pub use reference::ReferenceOpenDriver;
 pub use saturation::{SaturationConfig, SaturationDetector, SaturationReason};
-pub use stats::{batch_means, percentiles, ConfidenceInterval, PercentileSummary};
+pub use shard::{run_open_sharded, run_open_sharded_with_threads, ShardRouting, ShardedOpenConfig};
+pub use stats::{
+    batch_means, merge_shard_samples, merged_batch_means, percentiles, weighted_mean,
+    ConfidenceInterval, PercentileSummary,
+};

@@ -123,6 +123,64 @@ pub fn percentiles(samples: &[f64]) -> Option<PercentileSummary> {
     })
 }
 
+/// Merges per-shard measured samples — each a list of
+/// `(slot, value)` pairs keyed by the global measurement slot — into
+/// one dense, slot-ordered sequence of length `slots`.
+///
+/// Shard order does not matter (each sample carries its own slot), so
+/// the merge is deterministic however the shards were scheduled. Empty
+/// shards are fine: they simply contribute nothing. Returns `None`
+/// when the shards do not tile the slot range exactly — a slot left
+/// unfilled, filled twice, or carrying a `NaN` value (the guard that
+/// keeps a malformed shard report from silently poisoning the batch
+/// means downstream).
+pub fn merge_shard_samples(shards: &[Vec<(u64, f64)>], slots: usize) -> Option<Vec<f64>> {
+    let mut merged = vec![f64::NAN; slots];
+    let mut filled = 0usize;
+    for shard in shards {
+        for &(slot, value) in shard {
+            if value.is_nan() {
+                return None;
+            }
+            let cell = merged.get_mut(slot as usize)?;
+            if !cell.is_nan() {
+                return None; // duplicate slot
+            }
+            *cell = value;
+            filled += 1;
+        }
+    }
+    (filled == slots).then_some(merged)
+}
+
+/// The batch-means recombination behind sharded steady-state merges:
+/// merges per-shard `(slot, value)` samples into slot order (the
+/// aggregate arrival order) via [`merge_shard_samples`] and builds the
+/// batch-means interval over the merged sequence — exactly the interval
+/// a single-shard run collecting the same samples would report.
+///
+/// Returns `None` when the shards do not tile the slot range (see
+/// [`merge_shard_samples`]) or the merged sequence cannot support
+/// `batches` (see [`batch_means`]).
+pub fn merged_batch_means(
+    shards: &[Vec<(u64, f64)>],
+    slots: usize,
+    batches: u32,
+) -> Option<ConfidenceInterval> {
+    batch_means(&merge_shard_samples(shards, slots)?, batches)
+}
+
+/// Weighted mean of `(value, weight)` pairs, guarded so an all-zero
+/// weight total (e.g. averaging per-shard statistics when no shard
+/// executed a quantum) yields `0.0` instead of `0/0 = NaN`.
+pub fn weighted_mean(pairs: &[(f64, f64)]) -> f64 {
+    let total: f64 = pairs.iter().map(|&(_, w)| w).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    pairs.iter().map(|&(v, w)| v * w).sum::<f64>() / total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +251,79 @@ mod tests {
         assert_eq!(s.p95, 95.0);
         assert_eq!(s.p99, 99.0);
         assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn merge_recombines_shard_samples_in_slot_order() {
+        // Three shards covering slots 0..6 round-robin, presented out of
+        // shard order — the merge keys on slots, not shard layout.
+        let shards = vec![
+            vec![(2, 20.0), (5, 50.0)],
+            vec![(0, 0.0), (3, 30.0)],
+            vec![(1, 10.0), (4, 40.0)],
+        ];
+        let merged = merge_shard_samples(&shards, 6).unwrap();
+        assert_eq!(merged, vec![0.0, 10.0, 20.0, 30.0, 40.0, 50.0]);
+        // The recombined interval equals batch means over the dense
+        // sequence a single-shard run would have collected.
+        let direct = batch_means(&merged, 3).unwrap();
+        assert_eq!(merged_batch_means(&shards, 6, 3), Some(direct));
+    }
+
+    #[test]
+    fn merge_tolerates_empty_shards() {
+        // Shards that measured nothing (no measured arrival was routed
+        // to them) contribute nothing and break nothing.
+        let shards = vec![vec![], vec![(0, 1.0), (1, 2.0)], vec![]];
+        assert_eq!(merge_shard_samples(&shards, 2), Some(vec![1.0, 2.0]));
+        // All shards empty over an empty slot range: a valid (empty)
+        // merge, which batch means then rejects for want of samples.
+        assert_eq!(merge_shard_samples(&[], 0), Some(vec![]));
+        assert_eq!(merged_batch_means(&[], 0, 2), None);
+    }
+
+    #[test]
+    fn merge_handles_single_batch_shards() {
+        // Each shard contributes exactly one batch worth of samples;
+        // the recombined interval spans shards.
+        let shards: Vec<Vec<(u64, f64)>> = (0u64..4)
+            .map(|s| (0u64..5).map(|i| (s * 5 + i, (s * 5 + i) as f64)).collect())
+            .collect();
+        let ci = merged_batch_means(&shards, 20, 4).unwrap();
+        assert_eq!(ci.batches, 4);
+        assert_eq!(ci.batch_size, 5);
+        assert!((ci.mean - 9.5).abs() < 1e-12);
+        // A single-batch *request* is still rejected (batch means needs
+        // at least two batches to estimate spread).
+        assert_eq!(merged_batch_means(&shards, 20, 1), None);
+    }
+
+    #[test]
+    fn merge_guards_against_malformed_shard_reports() {
+        // Missing slot.
+        assert_eq!(merge_shard_samples(&[vec![(0, 1.0)]], 2), None);
+        // Duplicate slot.
+        assert_eq!(
+            merge_shard_samples(&[vec![(0, 1.0)], vec![(0, 2.0), (1, 3.0)]], 2),
+            None
+        );
+        // Out-of-range slot.
+        assert_eq!(merge_shard_samples(&[vec![(7, 1.0)]], 2), None);
+        // NaN sample: rejected outright rather than masquerading as an
+        // unfilled slot.
+        assert_eq!(
+            merge_shard_samples(&[vec![(0, f64::NAN), (1, 1.0)]], 2),
+            None
+        );
+        assert_eq!(merged_batch_means(&[vec![(0, 1.0)]], 2, 2), None);
+    }
+
+    #[test]
+    fn weighted_mean_guards_zero_total_weight() {
+        assert_eq!(weighted_mean(&[]), 0.0);
+        assert_eq!(weighted_mean(&[(5.0, 0.0), (9.0, 0.0)]), 0.0);
+        assert_eq!(weighted_mean(&[(2.0, 1.0), (6.0, 3.0)]), 5.0);
+        assert!(weighted_mean(&[(4.0, 0.0)]).to_bits() == 0.0_f64.to_bits());
     }
 
     #[test]

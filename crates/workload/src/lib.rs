@@ -46,7 +46,8 @@ pub mod release;
 
 pub use jobset::{JobSet, JobSetSpec};
 pub use release::{
-    expected_work, mean_gap_for_utilization, ArrivalProcess, ArrivalStream, ReleaseSchedule,
+    expected_work, mean_gap_for_utilization, splitmix_seed, ArrivalProcess, ArrivalStream,
+    ArrivalSubstream, ReleaseSchedule,
 };
 
 use abg_dag::{ForkJoinSpec, PhasedJob};

@@ -8,7 +8,10 @@
 //! re-record with that command and say so in the commit message.
 
 use abg::experiments::{open_fingerprint, open_system_sweep, OpenSystemConfig};
-use abg::queue::{run_open_system, OpenConfig, OpenOutcome, SaturationConfig};
+use abg::queue::{
+    run_open_sharded_with_threads, run_open_system, OpenConfig, OpenOutcome, SaturationConfig,
+    ShardRouting, ShardedOpenConfig,
+};
 use abg_alloc::DynamicEquiPartition;
 use abg_control::{AControl, AGreedy, RequestCalculator};
 use abg_dag::PhasedJob;
@@ -20,6 +23,10 @@ const OPEN_SMOKE: u64 = 0x32ed9525adb1b404;
 
 #[test]
 fn smoke_open_sweep_matches_golden() {
+    // The sweep now routes every point through the sharded engine with
+    // the presets' `shards = 1`, which delegates verbatim to the
+    // unsharded event-driven driver — this golden staying pinned IS the
+    // bit-identity check for that delegation.
     let rows = open_system_sweep(&OpenSystemConfig::smoke());
     assert_eq!(open_fingerprint(&rows), OPEN_SMOKE);
 }
@@ -80,6 +87,54 @@ fn run_with(cfg: &OpenConfig, abg_controller: bool) -> OpenOutcome {
             }
         },
     )
+}
+
+fn run_sharded(cfg: &OpenConfig, shards: u32, threads: usize) -> OpenOutcome {
+    run_open_sharded_with_threads(
+        &ShardedOpenConfig {
+            open: cfg.clone(),
+            shards,
+            routing: ShardRouting::RoundRobin,
+        },
+        DynamicEquiPartition::new,
+        |_rng, recycled: Option<Box<dyn JobExecutor + Send>>| {
+            if let Some(mut ex) = recycled {
+                if ex.try_reset() {
+                    return ex;
+                }
+            }
+            Box::new(PipelinedExecutor::new(PhasedJob::constant(4, 50)))
+        },
+        || -> Box<dyn RequestCalculator + Send> { Box::new(AControl::new(0.2)) },
+        threads,
+    )
+}
+
+#[test]
+fn sharded_outcome_is_identical_for_every_thread_count() {
+    // The acceptance property of the sharded engine: at a fixed shard
+    // count the merged outcome is a pure function of the configuration
+    // — the worker pool's size and schedule must never show through.
+    let cfg = driver_config(0.5);
+    for shards in [2u32, 4, 8] {
+        let baseline = run_sharded(&cfg, shards, 1);
+        assert!(baseline.is_steady(), "rho = 0.5 with {shards} shards");
+        for threads in 2..=8 {
+            assert_eq!(
+                run_sharded(&cfg, shards, threads),
+                baseline,
+                "shards = {shards} drifted at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_shard_engine_matches_the_event_driver_bit_for_bit() {
+    let cfg = driver_config(0.5);
+    for threads in [1usize, 4] {
+        assert_eq!(run_sharded(&cfg, 1, threads), run_with(&cfg, true));
+    }
 }
 
 #[test]
