@@ -4,11 +4,11 @@
 
 use abg::experiments::{open_system_sweep, OpenSystemConfig};
 use abg::queue::{
-    run_open_sharded_with_threads, run_open_system, OpenConfig, SaturationConfig, ShardRouting,
-    ShardedOpenConfig,
+    run_open_hierarchical_with_threads, run_open_sharded_with_threads, run_open_system,
+    HierOpenConfig, OpenConfig, SaturationConfig, ShardRouting, ShardedOpenConfig,
 };
 use abg_alloc::DynamicEquiPartition;
-use abg_control::{AControl, RequestCalculator};
+use abg_control::{AControl, GroupPolicy, RequestCalculator};
 use abg_dag::PhasedJob;
 use abg_queue::ReferenceOpenDriver;
 use abg_sched::{JobExecutor, PipelinedExecutor};
@@ -183,10 +183,69 @@ fn bench_open_sharded(c: &mut Criterion) {
     g.finish();
 }
 
+/// The hierarchical top level over four groups, static vs the
+/// desire-proportional feedback allocator, at a uniform and a 4:1
+/// skewed arrival split. Same deep width-2 jobs and backlog-dominated
+/// load as `open_sharded`, so the static/uniform cell prices exactly
+/// the sharded engine plus the epoch-slicing overhead (desires are
+/// folded every 64 quanta but no group ever resizes); the feedback
+/// cells add the allocator-rebuild cost on every capacity move. Under
+/// skew the static partition's hot group carries most of the
+/// population, so the feedback rows can be *faster* per unit of
+/// simulated time — the gated `open_hier` kernel tracks that ratio.
+fn bench_open_hier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("open_hier");
+    g.sample_size(20);
+
+    let job = Arc::new(PhasedJob::constant(2, 200_000));
+    let mut open = driver_config(0.7, 60);
+    open.processors = 128;
+    open.arrivals = ArrivalProcess::Poisson {
+        mean_gap: mean_gap_for_utilization(0.7, 128, 400_000.0),
+    };
+    for (route_name, routing) in [
+        ("uniform", ShardRouting::RoundRobin),
+        ("skew4", ShardRouting::Skewed { hot: 4 }),
+    ] {
+        for policy in [GroupPolicy::Static, GroupPolicy::Desire] {
+            let cfg = HierOpenConfig {
+                open: open.clone(),
+                groups: 4,
+                routing,
+                realloc_epoch: 64,
+                group_floor: 1,
+            };
+            let job = Arc::clone(&job);
+            g.bench_function(format!("{}_{route_name}", policy.name()), |b| {
+                b.iter(|| {
+                    black_box(run_open_hierarchical_with_threads(
+                        black_box(&cfg),
+                        DynamicEquiPartition::new,
+                        |_rng, recycled: Option<Box<dyn JobExecutor + Send>>| {
+                            if let Some(mut ex) = recycled {
+                                if ex.try_reset() {
+                                    return ex;
+                                }
+                            }
+                            Box::new(PipelinedExecutor::new(Arc::clone(&job)))
+                        },
+                        || Box::new(AControl::new(0.2)) as Box<dyn RequestCalculator + Send>,
+                        policy.build(),
+                        1,
+                    ))
+                })
+            });
+        }
+    }
+
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_open_system,
     bench_open_event_kernel,
-    bench_open_sharded
+    bench_open_sharded,
+    bench_open_hier
 );
 criterion_main!(benches);

@@ -655,17 +655,20 @@ fn baseline_steps_per_sec(json: &str, kernel: &str) -> Option<f64> {
 /// (`open_system`) and in its high-load macro-stepping regime
 /// (`open_event`), the sharded open-system engine whose aggregate
 /// committed quanta price the per-shard population win
-/// (`open_sharded`), and the monomorphized unified quantum core in
-/// mixed closed+open use. All are stable well within the 30% band on an
+/// (`open_sharded`), the hierarchical two-level driver whose epoch
+/// barriers and desire feedback ride on the same decomposition
+/// (`open_hier`), and the monomorphized unified quantum core in mixed
+/// closed+open use. All are stable well within the 30% band on an
 /// otherwise idle machine, so a trip means a real regression, not
 /// noise.
-const GATED_KERNELS: [&str; 7] = [
+const GATED_KERNELS: [&str; 8] = [
     "chain_macro",
     "forkjoin_tree",
     "forkjoin_bundle",
     "open_system",
     "open_event",
     "open_sharded",
+    "open_hier",
     "unified_engine",
 ];
 
@@ -813,6 +816,12 @@ fn open_json(mode: &str, cfg: &OpenSystemConfig, rows: &[OpenSystemRow]) -> Stri
         cfg.processors, cfg.quantum_len, cfg.shards
     ));
     s.push_str(&format!(
+        "  \"groups\": {}, \"group_alloc\": \"{}\", \"realloc_epoch\": {},\n",
+        cfg.groups,
+        cfg.group_alloc.name(),
+        cfg.realloc_epoch
+    ));
+    s.push_str(&format!(
         "  \"fingerprint\": \"{:#018x}\",\n",
         experiments::open_fingerprint(rows)
     ));
@@ -847,6 +856,15 @@ fn open(opts: &Options) -> Result<(), String> {
     }
     if let Some(shards) = opts.shards {
         cfg.shards = shards;
+    }
+    if let Some(groups) = opts.groups {
+        cfg.groups = groups;
+    }
+    if let Some(name) = &opts.group_alloc {
+        cfg.group_alloc = name.parse()?;
+    }
+    if let Some(epoch) = opts.realloc_epoch {
+        cfg.realloc_epoch = epoch;
     }
     // Reject an inconsistent measurement setup with a message instead
     // of letting the sweep panic mid-run.
@@ -883,7 +901,14 @@ fn open(opts: &Options) -> Result<(), String> {
         opts,
     );
     if !opts.csv {
-        let sharding = if cfg.shards > 1 {
+        let sharding = if cfg.groups > 1 {
+            format!(
+                " across {} groups ({} reallocation every {} quanta)",
+                cfg.groups,
+                cfg.group_alloc.name(),
+                cfg.realloc_epoch
+            )
+        } else if cfg.shards > 1 {
             format!(" across {} shards", cfg.shards)
         } else {
             String::new()
@@ -1027,6 +1052,59 @@ mod tests {
             err,
             "invalid open-system configuration: need at least one processor per shard \
              (17 shards > 16 processors)"
+        );
+    }
+
+    /// `open` with impossible hierarchical knobs surfaces the typed
+    /// [`abg_queue::ConfigError`] messages (and the policy-name parse
+    /// error) before any simulation runs.
+    #[test]
+    fn open_rejects_bad_group_configs_with_the_typed_messages() {
+        let base = Options {
+            command: Some("open".into()),
+            smoke: true,
+            ..Options::default()
+        };
+        let err = open(&Options {
+            groups: Some(0),
+            ..base.clone()
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            "invalid open-system configuration: need at least one processor group"
+        );
+        let err = open(&Options {
+            groups: Some(4),
+            realloc_epoch: Some(0),
+            ..base.clone()
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            "invalid open-system configuration: need a positive reallocation epoch"
+        );
+        // The smoke machine has 16 processors; 17 groups cannot all
+        // hold the floor of one processor.
+        let err = open(&Options {
+            groups: Some(17),
+            ..base.clone()
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            "invalid open-system configuration: per-group floor must be between 1 and P/G \
+             (1 with 16 processors over 17 groups)"
+        );
+        let err = open(&Options {
+            groups: Some(4),
+            group_alloc: Some("greedy".into()),
+            ..base
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            "unknown group allocator 'greedy' (expected static, desire or conservative)"
         );
     }
 }

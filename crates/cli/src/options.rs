@@ -23,6 +23,18 @@ pub struct Options {
     /// typed validation rejects impossible counts (zero, or more shards
     /// than processors) with its own error message.
     pub shards: Option<u32>,
+    /// Processor groups for the hierarchical two-level open-system
+    /// driver (the `open` subcommand). Like `--shards`, any integer
+    /// parses; the typed config validation owns the rejection of
+    /// impossible counts.
+    pub groups: Option<u32>,
+    /// Top-level reallocation policy name (the `open` subcommand);
+    /// resolved against [`abg_control::GroupPolicy`] when the command
+    /// runs so the error message lists the valid names.
+    pub group_alloc: Option<String>,
+    /// Reallocation epoch in quanta (the `open` subcommand). Zero
+    /// parses; the typed config validation rejects it.
+    pub realloc_epoch: Option<u64>,
     /// Append ASCII charts after the tables.
     pub plot: bool,
     /// Write machine-readable JSON output (the `bench` subcommand).
@@ -75,6 +87,12 @@ flags:
   --rho R              open: sweep only the given offered utilization
   --shards G           open: split the machine into G independent processor
                        groups (sharded engine; 1 = the unsharded driver)
+  --groups G           open: run the hierarchical two-level driver over G
+                       processor groups (1 = no top level; overrides --shards)
+  --group-alloc P      open: top-level reallocation policy — static, desire
+                       or conservative (default static)
+  --realloc-epoch Q    open: reallocate group capacities every Q quanta
+                       (default 50)
   --threads N          harness worker count (overrides ABG_THREADS; results
                        are identical for any count, only wall-clock changes)
   -h, --help           this text";
@@ -114,6 +132,24 @@ flags:
                         .parse()
                         .map_err(|_| format!("invalid shard count '{v}'"))?;
                     opts.shards = Some(n);
+                }
+                "--groups" => {
+                    let v = it.next().ok_or("--groups needs a value")?;
+                    let n: u32 = v
+                        .parse()
+                        .map_err(|_| format!("invalid group count '{v}'"))?;
+                    opts.groups = Some(n);
+                }
+                "--group-alloc" => {
+                    let v = it.next().ok_or("--group-alloc needs a policy name")?;
+                    opts.group_alloc = Some(v.clone());
+                }
+                "--realloc-epoch" => {
+                    let v = it.next().ok_or("--realloc-epoch needs a value")?;
+                    let n: u64 = v
+                        .parse()
+                        .map_err(|_| format!("invalid reallocation epoch '{v}'"))?;
+                    opts.realloc_epoch = Some(n);
                 }
                 "--threads" => {
                     let v = it.next().ok_or("--threads needs a value")?;
@@ -231,6 +267,41 @@ mod tests {
         // Zero parses: the typed config validation owns that rejection,
         // so the CLI surfaces its message rather than a parse error.
         assert_eq!(parse(&["open", "--shards", "0"]).unwrap().shards, Some(0));
+    }
+
+    #[test]
+    fn parses_group_flags() {
+        let o = parse(&[
+            "open",
+            "--smoke",
+            "--groups",
+            "4",
+            "--group-alloc",
+            "desire",
+            "--realloc-epoch",
+            "25",
+        ])
+        .unwrap();
+        assert_eq!(o.groups, Some(4));
+        assert_eq!(o.group_alloc.as_deref(), Some("desire"));
+        assert_eq!(o.realloc_epoch, Some(25));
+        let o = parse(&["open"]).unwrap();
+        assert!(o.groups.is_none() && o.group_alloc.is_none() && o.realloc_epoch.is_none());
+        assert!(parse(&["open", "--groups"]).is_err());
+        assert!(parse(&["open", "--groups", "many"]).is_err());
+        assert!(parse(&["open", "--group-alloc"]).is_err());
+        assert!(parse(&["open", "--realloc-epoch"]).is_err());
+        assert!(parse(&["open", "--realloc-epoch", "soon"]).is_err());
+        // Zero group counts and epochs parse: the typed config
+        // validation owns those rejections, so the CLI surfaces its
+        // message rather than a parse error.
+        assert_eq!(parse(&["open", "--groups", "0"]).unwrap().groups, Some(0));
+        assert_eq!(
+            parse(&["open", "--realloc-epoch", "0"])
+                .unwrap()
+                .realloc_epoch,
+            Some(0)
+        );
     }
 
     #[test]

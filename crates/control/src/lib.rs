@@ -6,7 +6,10 @@
 //! [`AControl`] adaptive integral controller (Section 3) and the
 //! [`AGreedy`] multiplicative-increase/multiplicative-decrease baseline it
 //! is compared against, plus simple reference calculators and the
-//! control-theoretic analysis toolkit behind Theorem 1.
+//! control-theoretic analysis toolkit behind Theorem 1. The
+//! [`group`] module lifts the same feedback shape one level up: a
+//! [`GroupAllocator`] repartitions the machine among processor groups
+//! from per-group desire reports (hierarchical two-level scheduling).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,6 +19,7 @@ pub mod adaptive_rate;
 pub mod agreedy;
 pub mod analysis;
 pub mod baselines;
+pub mod group;
 pub mod pi;
 
 pub use acontrol::AControl;
@@ -23,6 +27,10 @@ pub use adaptive_rate::AdaptiveRateControl;
 pub use agreedy::AGreedy;
 pub use analysis::{analyze_step_response, ClosedLoop, PiClosedLoop, StepMetrics};
 pub use baselines::{ConstantRequest, OracleRequest};
+pub use group::{
+    equi_partition, ConservativeTwoLevel, DesireProportional, GroupAllocator, GroupDesire,
+    GroupPolicy, StaticEqui,
+};
 pub use pi::PiControl;
 
 use abg_sched::QuantumStats;

@@ -511,6 +511,43 @@ pub fn run_kernel_suite(cfg: &KernelBenchConfig) -> Vec<KernelResult> {
         (stats.arrivals, stats.quanta * 100)
     }));
 
+    // Composite: the hierarchical two-level driver over the same
+    // decomposition as `open_sharded`, but with the desire-proportional
+    // top level reallocating group capacities every 64 quanta. This
+    // prices what the top level adds to the sharded engine: the epoch
+    // barriers slicing every group's frozen windows, the per-epoch
+    // desire folds, and the allocator-rebuild path on resized groups
+    // (under round-robin routing the partition quickly settles, so
+    // rebuilds price the steady case, not a thrash loop). Same
+    // one-worker pool and counters as `open_sharded` so the two gate
+    // comparable work.
+    let hier_cfg = abg_queue::HierOpenConfig {
+        open: sharded_cfg.open.clone(),
+        groups: cfg.open_shards,
+        routing: abg_queue::ShardRouting::RoundRobin,
+        realloc_epoch: 64,
+        group_floor: 1,
+    };
+    results.push(measure("open_hier", ms, || {
+        let out = abg_queue::run_open_hierarchical_with_threads(
+            &hier_cfg,
+            DynamicEquiPartition::new,
+            |_rng, recycled: Option<Box<dyn JobExecutor + Send>>| {
+                if let Some(mut ex) = recycled {
+                    if ex.try_reset() {
+                        return ex;
+                    }
+                }
+                Box::new(PipelinedExecutor::new(Arc::clone(&sharded_job)))
+            },
+            || Box::new(AControl::new(0.2)),
+            abg_control::DesireProportional::new(),
+            1,
+        );
+        let stats = out.steady().expect("kernel rho must be stable");
+        (stats.arrivals, stats.quanta * 100)
+    }));
+
     // The unified quantum core driven directly, fully monomorphized (no
     // boxed executors or controllers, `NullProbe` instrumentation
     // compiled away): a closed batch released together followed by a
@@ -590,6 +627,7 @@ mod tests {
                 "open_system",
                 "open_event",
                 "open_sharded",
+                "open_hier",
                 "unified_engine",
             ]
         );

@@ -10,6 +10,7 @@ pub mod ablation;
 pub mod adaptive_quantum;
 pub mod allocator_policies;
 pub mod fingerprint;
+pub mod hierarchical;
 pub mod kernels;
 pub mod multiprogrammed;
 pub mod open_system;
@@ -31,6 +32,7 @@ pub use allocator_policies::{
     allocator_policy_comparison, AllocatorPolicyConfig, AllocatorPolicyRow,
 };
 pub use fingerprint::{load_fingerprint, open_fingerprint, sweep_fingerprint, Fingerprint};
+pub use hierarchical::{hierarchical_skew_sweep, HierarchicalConfig, HierarchicalRow, PolicyPoint};
 pub use kernels::{kernel_speedup, run_kernel_suite, KernelBenchConfig, KernelResult};
 pub use multiprogrammed::{multiprogrammed_sweep, LoadPoint, MultiprogrammedConfig};
 pub use open_system::{

@@ -13,9 +13,10 @@
 
 use super::{parallel_map, task_seed};
 use abg_alloc::DynamicEquiPartition;
-use abg_control::{AControl, AGreedy, RequestCalculator};
+use abg_control::{AControl, AGreedy, GroupPolicy, RequestCalculator};
 use abg_queue::{
-    run_open_sharded, OpenConfig, OpenOutcome, SaturationConfig, ShardRouting, ShardedOpenConfig,
+    run_open_hierarchical, run_open_sharded, HierOpenConfig, OpenConfig, OpenOutcome,
+    SaturationConfig, ShardRouting, ShardedOpenConfig,
 };
 use abg_sched::{JobExecutor, PipelinedExecutor};
 use abg_workload::{expected_work, mean_gap_for_utilization, mixed_factor_job, ArrivalProcess};
@@ -62,6 +63,23 @@ pub struct OpenSystemConfig {
     /// cores with round-robin arrival routing (see
     /// [`abg_queue::shard`]).
     pub shards: u32,
+    /// Processor groups under the hierarchical two-level driver. `1`
+    /// (the presets' value) leaves the top level out entirely and the
+    /// sweep runs the sharded/unsharded path selected by `shards`;
+    /// larger counts route every point through
+    /// [`abg_queue::run_open_hierarchical`] with `groups` groups
+    /// (ignoring `shards`), reallocated by `group_alloc` every
+    /// `realloc_epoch` quanta.
+    pub groups: u32,
+    /// Top-level reallocation policy (only consulted when
+    /// `groups > 1`). [`GroupPolicy::Static`] never resizes anyone and
+    /// reproduces the fixed sharded partition bit-for-bit.
+    pub group_alloc: GroupPolicy,
+    /// Reallocation epoch in quanta (only consulted when `groups > 1`).
+    pub realloc_epoch: u64,
+    /// Per-group capacity floor the top level must honor (only
+    /// consulted when `groups > 1`).
+    pub group_floor: u32,
     /// ABG convergence rate `r`.
     pub rate: f64,
     /// A-Greedy responsiveness `ρ`.
@@ -92,6 +110,10 @@ impl OpenSystemConfig {
             work_samples: 4096,
             saturation: SaturationConfig::default(),
             shards: 1,
+            groups: 1,
+            group_alloc: GroupPolicy::Static,
+            realloc_epoch: 50,
+            group_floor: 1,
             rate: 0.2,
             responsiveness: 2.0,
             utilization: 0.8,
@@ -115,6 +137,10 @@ impl OpenSystemConfig {
             work_samples: 512,
             saturation: SaturationConfig::default(),
             shards: 1,
+            groups: 1,
+            group_alloc: GroupPolicy::Static,
+            realloc_epoch: 50,
+            group_floor: 1,
             rate: 0.2,
             responsiveness: 2.0,
             utilization: 0.8,
@@ -122,24 +148,42 @@ impl OpenSystemConfig {
         }
     }
 
-    /// Validates the per-point [`ShardedOpenConfig`] this sweep would
-    /// run, so front ends can reject an inconsistent measurement setup
-    /// (including a bad shard count) with a typed error up front
-    /// instead of panicking mid-sweep. (The arrival gap and seed vary
-    /// per point but play no part in config validity.)
+    /// The per-point aggregate open-system configuration (the arrival
+    /// gap and seed vary per point but play no part in config
+    /// validity, so validation uses placeholders).
+    fn open_config(&self, mean_gap: f64, seed: u64) -> OpenConfig {
+        OpenConfig {
+            processors: self.processors,
+            quantum_len: self.quantum_len,
+            arrivals: ArrivalProcess::Poisson { mean_gap },
+            warmup_jobs: self.warmup_jobs,
+            measured_jobs: self.measured_jobs,
+            batches: self.batches,
+            max_quanta: self.max_quanta,
+            saturation: self.saturation,
+            seed,
+        }
+    }
+
+    /// Validates the per-point engine configuration this sweep would
+    /// run — the hierarchical [`HierOpenConfig`] when `groups > 1`,
+    /// the [`ShardedOpenConfig`] otherwise — so front ends can reject
+    /// an inconsistent measurement setup (bad shard/group counts, a
+    /// zero reallocation epoch, an ungrantable floor) with a typed
+    /// error up front instead of panicking mid-sweep.
     pub fn validate(&self) -> Result<(), abg_queue::ConfigError> {
+        if self.groups != 1 {
+            return HierOpenConfig {
+                open: self.open_config(1.0, self.seed),
+                groups: self.groups,
+                routing: ShardRouting::RoundRobin,
+                realloc_epoch: self.realloc_epoch,
+                group_floor: self.group_floor,
+            }
+            .validate();
+        }
         ShardedOpenConfig {
-            open: OpenConfig {
-                processors: self.processors,
-                quantum_len: self.quantum_len,
-                arrivals: ArrivalProcess::Poisson { mean_gap: 1.0 },
-                warmup_jobs: self.warmup_jobs,
-                measured_jobs: self.measured_jobs,
-                batches: self.batches,
-                max_quanta: self.max_quanta,
-                saturation: self.saturation,
-                seed: self.seed,
-            },
+            open: self.open_config(1.0, self.seed),
             shards: self.shards,
             routing: ShardRouting::RoundRobin,
         }
@@ -224,24 +268,9 @@ pub struct OpenSystemRow {
 }
 
 fn run_point(cfg: &OpenSystemConfig, mean_gap: f64, index: u64, which: Scheduler) -> OpenOutcome {
-    let sharded = ShardedOpenConfig {
-        open: OpenConfig {
-            processors: cfg.processors,
-            quantum_len: cfg.quantum_len,
-            arrivals: ArrivalProcess::Poisson { mean_gap },
-            warmup_jobs: cfg.warmup_jobs,
-            measured_jobs: cfg.measured_jobs,
-            batches: cfg.batches,
-            max_quanta: cfg.max_quanta,
-            saturation: cfg.saturation,
-            // Per-ρ seed shared by BOTH schedulers: identical rng,
-            // identical arrival times, identical job structures — a
-            // paired comparison.
-            seed: task_seed(cfg.seed, index, 1),
-        },
-        shards: cfg.shards,
-        routing: ShardRouting::RoundRobin,
-    };
+    // Per-ρ seed shared by BOTH schedulers: identical rng, identical
+    // arrival times, identical job structures — a paired comparison.
+    let open = cfg.open_config(mean_gap, task_seed(cfg.seed, index, 1));
     let (max_factor, quantum_len, pairs) = (cfg.max_factor, cfg.quantum_len, cfg.pairs);
     // Jobs here are heterogeneous (each arrival samples a fresh phase
     // structure), so recycled executors are dropped rather than reset —
@@ -256,9 +285,50 @@ fn run_point(cfg: &OpenSystemConfig, mean_gap: f64, index: u64, which: Scheduler
             rng,
         )))
     };
-    // The shard pool honors `ABG_THREADS` like the sweep's own
-    // `parallel_map`; the outcome is thread-count invariant either way,
-    // and `shards = 1` delegates straight to `run_open_system`.
+    // The engine pools honor `ABG_THREADS` like the sweep's own
+    // `parallel_map`; the outcome is thread-count invariant either way.
+    // `groups > 1` routes through the hierarchical two-level driver
+    // (with `shards` ignored: the groups ARE the partition); otherwise
+    // the sharded engine runs, and `shards = 1` delegates straight to
+    // `run_open_system`.
+    if cfg.groups > 1 {
+        let hier = HierOpenConfig {
+            open,
+            groups: cfg.groups,
+            routing: ShardRouting::RoundRobin,
+            realloc_epoch: cfg.realloc_epoch,
+            group_floor: cfg.group_floor,
+        };
+        return match which {
+            Scheduler::Abg => {
+                let rate = cfg.rate;
+                run_open_hierarchical(
+                    &hier,
+                    DynamicEquiPartition::new,
+                    make_executor,
+                    move || -> Box<dyn RequestCalculator + Send> { Box::new(AControl::new(rate)) },
+                    cfg.group_alloc.build(),
+                )
+            }
+            Scheduler::AGreedy => {
+                let (rho, delta) = (cfg.responsiveness, cfg.utilization);
+                run_open_hierarchical(
+                    &hier,
+                    DynamicEquiPartition::new,
+                    make_executor,
+                    move || -> Box<dyn RequestCalculator + Send> {
+                        Box::new(AGreedy::new(rho, delta))
+                    },
+                    cfg.group_alloc.build(),
+                )
+            }
+        };
+    }
+    let sharded = ShardedOpenConfig {
+        open,
+        shards: cfg.shards,
+        routing: ShardRouting::RoundRobin,
+    };
     match which {
         Scheduler::Abg => {
             let rate = cfg.rate;
@@ -389,6 +459,62 @@ mod tests {
         let a = crate::experiments::open_fingerprint(&rows);
         let b = crate::experiments::open_fingerprint(&open_system_sweep(&cfg));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hierarchical_static_sweep_matches_the_sharded_sweep() {
+        // The compatibility anchor at the sweep level: groups = 4 with
+        // the never-resizing static policy must reproduce shards = 4
+        // bit-for-bit — same routing, same per-group loops, no resize.
+        let mut sharded = OpenSystemConfig::smoke();
+        sharded.shards = 4;
+        sharded.rhos = vec![0.4, 2.0];
+        let mut hier = sharded.clone();
+        hier.shards = 1;
+        hier.groups = 4;
+        hier.group_alloc = GroupPolicy::Static;
+        let a = crate::experiments::open_fingerprint(&open_system_sweep(&sharded));
+        let b = crate::experiments::open_fingerprint(&open_system_sweep(&hier));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hierarchical_desire_sweep_is_steady_and_deterministic() {
+        let mut cfg = OpenSystemConfig::smoke();
+        cfg.groups = 4;
+        cfg.group_alloc = GroupPolicy::Desire;
+        cfg.realloc_epoch = 25;
+        cfg.rhos = vec![0.4, 2.0];
+        let rows = open_system_sweep(&cfg);
+        assert!(rows[0].abg.stable && rows[0].agreedy.stable);
+        assert!(rows[0].abg.slowdown_p50 >= 1.0);
+        assert!(!rows[1].abg.stable && !rows[1].agreedy.stable);
+        let a = crate::experiments::open_fingerprint(&rows);
+        let b = crate::experiments::open_fingerprint(&open_system_sweep(&cfg));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validate_rejects_bad_group_configs() {
+        let mut cfg = OpenSystemConfig::smoke();
+        cfg.groups = 0;
+        assert_eq!(cfg.validate(), Err(abg_queue::ConfigError::ZeroGroups));
+        cfg.groups = 4;
+        cfg.realloc_epoch = 0;
+        assert_eq!(cfg.validate(), Err(abg_queue::ConfigError::BadReallocEpoch));
+        cfg.realloc_epoch = 50;
+        cfg.group_floor = cfg.processors;
+        assert!(matches!(
+            cfg.validate(),
+            Err(abg_queue::ConfigError::BadGroupFloor { .. })
+        ));
+        cfg.group_floor = 1;
+        assert_eq!(cfg.validate(), Ok(()));
+        // With the top level out (groups = 1) the group knobs are
+        // inert and the shard path is validated instead.
+        cfg.groups = 1;
+        cfg.group_floor = 0;
+        assert_eq!(cfg.validate(), Ok(()));
     }
 
     #[test]

@@ -92,6 +92,22 @@ pub enum ConfigError {
         /// The configured machine size.
         processors: u32,
     },
+    /// `groups == 0` in a hierarchical configuration: the top-level
+    /// allocator needs at least one processor group.
+    ZeroGroups,
+    /// `realloc_epoch == 0`: the desire feedback loop would never run.
+    BadReallocEpoch,
+    /// The per-group capacity floor is zero or cannot be granted to
+    /// every group at once (`floor > P / G`) — the top-level allocator
+    /// could not honor its floor invariant.
+    BadGroupFloor {
+        /// The configured per-group floor.
+        floor: u32,
+        /// The configured machine size.
+        processors: u32,
+        /// The configured group count.
+        groups: u32,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -112,6 +128,19 @@ impl std::fmt::Display for ConfigError {
             ConfigError::TooManyShards { shards, processors } => write!(
                 f,
                 "need at least one processor per shard ({shards} shards > {processors} processors)"
+            ),
+            ConfigError::ZeroGroups => write!(f, "need at least one processor group"),
+            ConfigError::BadReallocEpoch => {
+                write!(f, "need a positive reallocation epoch")
+            }
+            ConfigError::BadGroupFloor {
+                floor,
+                processors,
+                groups,
+            } => write!(
+                f,
+                "per-group floor must be between 1 and P/G \
+                 ({floor} with {processors} processors over {groups} groups)"
             ),
         }
     }

@@ -31,6 +31,12 @@
 //!   routing and a stable-order merge so the outcome never depends on
 //!   thread count or schedule; `shards = 1` is [`run_open_system`]
 //!   bit-for-bit;
+//! * [`hier`] — [`run_open_hierarchical`]: the two-level extension of
+//!   the sharded engine, where a feedback-driven
+//!   [`abg_control::GroupAllocator`] repartitions the machine among
+//!   the groups at fixed reallocation epochs from per-group desire
+//!   reports; the never-resizing [`abg_control::StaticEqui`] policy
+//!   reproduces [`run_open_sharded`] bit-for-bit;
 //! * `reference` (tests / `test-support` feature only) — the legacy
 //!   quantum-by-quantum loop, kept as the differential-testing ground
 //!   truth for the event-driven driver.
@@ -77,6 +83,7 @@
 
 pub mod driver;
 pub mod events;
+pub mod hier;
 #[cfg(test)]
 mod lockstep;
 #[cfg(any(test, feature = "test-support"))]
@@ -90,6 +97,10 @@ pub use driver::{
     UnstableReport,
 };
 pub use events::ArrivalCalendar;
+pub use hier::{
+    run_open_hierarchical, run_open_hierarchical_detailed, run_open_hierarchical_with_threads,
+    GroupSummary, HierOpenConfig,
+};
 #[cfg(any(test, feature = "test-support"))]
 pub use reference::ReferenceOpenDriver;
 pub use saturation::{SaturationConfig, SaturationDetector, SaturationReason};

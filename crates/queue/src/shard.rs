@@ -43,13 +43,12 @@
 //! `ABG_THREADS`, like every harness pool in the workspace).
 
 use crate::driver::{ConfigError, OpenConfig, OpenOutcome, SteadyStats, UnstableReport};
-use crate::events::frozen_window_bound;
 use crate::saturation::{SaturationDetector, SaturationReason};
 use crate::stats::{merge_shard_samples, merged_batch_means, percentiles, weighted_mean};
 use abg_alloc::Allocator;
 use abg_control::RequestCalculator;
 use abg_sched::JobExecutor;
-use abg_sim::{CompletedJob, NullProbe, QuantumCore};
+use abg_sim::{NullProbe, QuantumCore};
 use abg_workload::{splitmix_seed, ArrivalStream};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -67,6 +66,17 @@ pub enum ShardRouting {
     /// hash of its job seed — an i.i.d. uniform split, the statistical
     /// model of load-oblivious dispatching.
     HashJobSeed,
+    /// Deterministic skew: the first `hot` arrivals of every
+    /// `hot + (G - 1)`-arrival cycle go to group 0, the rest
+    /// round-robin over groups `1..G` — a `hot : 1` load concentration
+    /// on group 0. The hierarchical experiments use it to stress
+    /// feedback repartitioning; under the *static* engine it simply
+    /// overloads group 0. With `G = 1` everything lands on group 0.
+    Skewed {
+        /// Arrivals routed to group 0 per cycle (`hot = 1` is uniform;
+        /// `hot = G` gives group 0 a `G : 1` share).
+        hot: u32,
+    },
 }
 
 /// Configuration of a sharded open-system run.
@@ -118,7 +128,7 @@ impl ShardedOpenConfig {
 
 /// Processors owned by shard `k` of `g`: an equi-partition with the
 /// remainder spread over the lowest-index shards.
-fn shard_processors(processors: u32, shards: u32, shard: u32) -> u32 {
+pub(crate) fn shard_processors(processors: u32, shards: u32, shard: u32) -> u32 {
     processors / shards + u32::from(shard < processors % shards)
 }
 
@@ -129,16 +139,28 @@ fn router_seed(seed: u64) -> u64 {
 }
 
 /// The RNG seed global arrival `g` samples its job structure from.
-fn job_seed(seed: u64, global: u64) -> u64 {
+pub(crate) fn job_seed(seed: u64, global: u64) -> u64 {
     splitmix_seed(seed, global, 2)
 }
 
 /// The shard the routing policy assigns global arrival `g` to.
-fn route(cfg: &ShardedOpenConfig, global: u64) -> u32 {
+pub(crate) fn route(cfg: &ShardedOpenConfig, global: u64) -> u32 {
     match cfg.routing {
         ShardRouting::RoundRobin => (global % cfg.shards as u64) as u32,
         ShardRouting::HashJobSeed => {
             (splitmix_seed(job_seed(cfg.open.seed, global), 0, 3) % cfg.shards as u64) as u32
+        }
+        ShardRouting::Skewed { hot } => {
+            let cycle = hot as u64 + cfg.shards as u64 - 1;
+            if cycle == 0 {
+                return 0; // hot = 0 with one group: everything is group 0.
+            }
+            let r = global % cycle;
+            if r < hot as u64 {
+                0
+            } else {
+                (r - hot as u64 + 1) as u32
+            }
         }
     }
 }
@@ -147,7 +169,7 @@ fn route(cfg: &ShardedOpenConfig, global: u64) -> u32 {
 /// `shard` — computable up front (routing is a pure function of seed
 /// and index), so each shard knows its measurement target before
 /// simulating anything.
-fn measured_assigned(cfg: &ShardedOpenConfig, shard: u32) -> u64 {
+pub(crate) fn measured_assigned(cfg: &ShardedOpenConfig, shard: u32) -> u64 {
     let warmup = cfg.open.warmup_jobs;
     (warmup..warmup + cfg.open.measured_jobs)
         .filter(|&g| route(cfg, g) == shard)
@@ -159,7 +181,7 @@ fn measured_assigned(cfg: &ShardedOpenConfig, shard: u32) -> u64 {
 /// for the arrivals routed to this shard. Skipped arrivals still
 /// consume their draws, so every shard sees the identical aggregate
 /// path.
-struct ShardArrivals {
+pub(crate) struct ShardArrivals {
     stream: ArrivalStream,
     rng: StdRng,
     /// Global index of the next aggregate arrival to draw.
@@ -168,7 +190,7 @@ struct ShardArrivals {
 }
 
 impl ShardArrivals {
-    fn new(cfg: &ShardedOpenConfig, shard: u32) -> Self {
+    pub(crate) fn new(cfg: &ShardedOpenConfig, shard: u32) -> Self {
         Self {
             stream: cfg.open.arrivals.stream(),
             rng: StdRng::seed_from_u64(router_seed(cfg.open.seed)),
@@ -178,7 +200,7 @@ impl ShardArrivals {
     }
 
     /// The next arrival routed to this shard.
-    fn next(&mut self, cfg: &ShardedOpenConfig) -> (u64, u64) {
+    pub(crate) fn next(&mut self, cfg: &ShardedOpenConfig) -> (u64, u64) {
         loop {
             let time = self.stream.next_arrival(&mut self.rng);
             let global = self.next_global;
@@ -190,19 +212,20 @@ impl ShardArrivals {
     }
 }
 
-/// Everything a shard hands back for the deterministic merge.
-struct ShardReport {
-    processors: u32,
+/// Everything a shard (or hierarchical processor group) hands back for
+/// the deterministic merge.
+pub(crate) struct ShardReport {
+    pub(crate) processors: u32,
     /// Measured samples: `(global slot, response, slowdown)`.
-    samples: Vec<(u64, f64, f64)>,
-    arrivals: u64,
-    completed_measured: u64,
-    completed_work: u64,
-    quanta: u64,
-    horizon: u64,
-    jobs_in_system: u64,
-    mean_jobs_in_system: f64,
-    tripped: Option<SaturationReason>,
+    pub(crate) samples: Vec<(u64, f64, f64)>,
+    pub(crate) arrivals: u64,
+    pub(crate) completed_measured: u64,
+    pub(crate) completed_work: u64,
+    pub(crate) quanta: u64,
+    pub(crate) horizon: u64,
+    pub(crate) jobs_in_system: u64,
+    pub(crate) mean_jobs_in_system: f64,
+    pub(crate) tripped: Option<SaturationReason>,
 }
 
 /// Runs shard `shard`'s independent open-system simulation to its own
@@ -211,6 +234,11 @@ struct ShardReport {
 /// [`run_open_system`](crate::run_open_system), with measurement keyed by *global* arrival
 /// index and the slowdown lower bound taken against the shard's own
 /// sub-machine (the processors the job could actually have used).
+///
+/// The loop itself lives in [`GroupSim`](crate::hier::GroupSim) — the
+/// resumable per-group simulation of the hierarchical driver — run
+/// here with an unbounded epoch, which disables every pause point and
+/// reduces it to the original single-pass shard loop.
 fn run_shard<A, E, C>(
     cfg: &ShardedOpenConfig,
     shard: u32,
@@ -223,120 +251,14 @@ where
     E: Fn(&mut StdRng, Option<Box<dyn JobExecutor + Send>>) -> Box<dyn JobExecutor + Send> + Sync,
     C: Fn() -> Box<dyn RequestCalculator + Send> + Sync,
 {
-    let open = &cfg.open;
-    let processors = shard_processors(open.processors, cfg.shards, shard);
-    let warmup = open.warmup_jobs;
-    let measured = open.measured_jobs;
-    let assigned = measured_assigned(cfg, shard);
-
-    let mut report = ShardReport {
-        processors,
-        samples: Vec::with_capacity(assigned as usize),
-        arrivals: 0,
-        completed_measured: 0,
-        completed_work: 0,
-        quanta: 0,
-        horizon: 0,
-        jobs_in_system: 0,
-        mean_jobs_in_system: 0.0,
-        tripped: None,
-    };
-    if assigned == 0 {
-        // No measured arrival routes here: the shard's simulation could
-        // not influence any merged statistic (shards are independent),
-        // so it is skipped outright.
-        return report;
-    }
-
-    let mut arrivals_src = ShardArrivals::new(cfg, shard);
-    let mut engine = QuantumCore::new(allocator, open.quantum_len, NullProbe);
-    let mut detector = SaturationDetector::new(open.saturation);
-    // Local admission id → global arrival index (admission order).
-    let mut globals: Vec<u64> = Vec::new();
-    let mut outstanding = assigned;
-    let mut done: Vec<CompletedJob> = Vec::new();
-    let mut pool: Vec<Box<dyn JobExecutor + Send>> = Vec::new();
-    let (mut next_global, mut next_time) = arrivals_src.next(cfg);
-
-    'run: loop {
-        while next_time <= engine.now() {
-            // Job structures are sampled from the arrival's own derived
-            // RNG, so the population is a function of the run seed
-            // alone — identical across shard counts and routings.
-            let mut job_rng = StdRng::seed_from_u64(job_seed(open.seed, next_global));
-            let executor = make_executor(&mut job_rng, pool.pop());
-            let id = engine.admit(executor, make_calculator(), next_time);
-            debug_assert_eq!(id as usize, globals.len());
-            globals.push(next_global);
-            report.arrivals += 1;
-            (next_global, next_time) = arrivals_src.next(cfg);
-        }
-        if !engine.any_live() {
-            engine.skip_idle_until(next_time);
-            continue;
-        }
-
-        done.clear();
-        engine.step_quantum_reclaiming(&mut done, &mut pool);
-        detector.record(engine.jobs_in_system());
-
-        for job in &done {
-            report.completed_work += job.work;
-            let global = globals[job.id as usize];
-            if global < warmup || global >= warmup + measured {
-                continue;
-            }
-            let response = job.response_time() as f64;
-            // Solo lower bound on response against the shard's own
-            // machine: the job cannot beat its span nor perfect speedup
-            // on the processors its group owns.
-            let lower = (job.span as f64).max(job.work as f64 / processors as f64);
-            report
-                .samples
-                .push((global - warmup, response, response / lower.max(1.0)));
-            report.completed_measured += 1;
-            outstanding -= 1;
-        }
-
-        if outstanding == 0 {
-            break;
-        }
-        if let Some(reason) = shard_trip(open, &engine, &detector) {
-            report.tripped = Some(reason);
-            break;
-        }
-
-        while let Some(len) = engine.frozen_quantum_len() {
-            let bound = frozen_window_bound(
-                engine.now(),
-                len,
-                next_time,
-                detector.quanta_until_trend_check(),
-                engine.quanta(),
-                open.max_quanta,
-            );
-            let advanced = engine.advance_frozen(bound);
-            if advanced == 0 {
-                break;
-            }
-            detector.record_n(engine.jobs_in_system(), advanced);
-            if let Some(reason) = shard_trip(open, &engine, &detector) {
-                report.tripped = Some(reason);
-                break 'run;
-            }
-        }
-    }
-
-    report.quanta = engine.quanta();
-    report.horizon = engine.now();
-    report.jobs_in_system = engine.jobs_in_system() as u64;
-    report.mean_jobs_in_system = detector.mean_jobs_in_system();
-    report
+    let mut sim = crate::hier::GroupSim::new(cfg, shard, allocator);
+    sim.advance_until(cfg, u64::MAX, make_executor, make_calculator);
+    sim.into_report()
 }
 
 /// Saturation/budget evaluation per shard — the detector's verdict, or
 /// the per-shard quanta budget.
-fn shard_trip<A: Allocator>(
+pub(crate) fn shard_trip<A: Allocator>(
     open: &OpenConfig,
     engine: &QuantumCore<
         Box<dyn JobExecutor + Send>,
@@ -357,7 +279,7 @@ fn shard_trip<A: Allocator>(
 /// variable when set to a positive integer, the machine's available
 /// parallelism otherwise — the same contract as the sweep harness's
 /// `parallel_map`. Results never depend on this; only wall-clock does.
-fn pool_threads() -> usize {
+pub(crate) fn pool_threads() -> usize {
     if let Ok(s) = std::env::var("ABG_THREADS") {
         if let Ok(n) = s.trim().parse::<usize>() {
             if n >= 1 {
@@ -409,8 +331,8 @@ where
     reports.into_iter().map(|(_, r)| r).collect()
 }
 
-/// Folds the per-shard reports into one [`OpenOutcome`], in stable
-/// shard-index order.
+/// Folds the per-shard (or per-group) reports into one
+/// [`OpenOutcome`], in stable shard-index order.
 ///
 /// Any tripped shard makes the merged outcome [`OpenOutcome::Unstable`]
 /// (reason from the lowest-index tripped shard; diagnostics summed,
@@ -419,9 +341,14 @@ where
 /// [`merge_shard_samples`]; `quanta` and `arrivals` sum; `horizon` is
 /// the largest shard horizon; the mean in-system count is the
 /// quanta-weighted mean of the shard means; and the served utilization
-/// is total completed work over the summed per-shard capacities
-/// `Σ Pₖ · horizonₖ`.
-fn merge_reports(cfg: &ShardedOpenConfig, reports: &[ShardReport]) -> OpenOutcome {
+/// is total completed work over `capacity` — the caller's
+/// processor-steps integral (`Σ Pₖ · horizonₖ` for fixed shards, the
+/// epoch-by-epoch sum under a capacity-reallocating top level).
+pub(crate) fn merge_reports(
+    open: &OpenConfig,
+    reports: &[ShardReport],
+    capacity: f64,
+) -> OpenOutcome {
     let quanta: u64 = reports.iter().map(|r| r.quanta).sum();
     let arrivals: u64 = reports.iter().map(|r| r.arrivals).sum();
     let horizon: u64 = reports.iter().map(|r| r.horizon).max().unwrap_or(0);
@@ -438,7 +365,7 @@ fn merge_reports(cfg: &ShardedOpenConfig, reports: &[ShardReport]) -> OpenOutcom
         });
     }
 
-    let slots = cfg.open.measured_jobs as usize;
+    let slots = open.measured_jobs as usize;
     let responses: Vec<Vec<(u64, f64)>> = reports
         .iter()
         .map(|r| r.samples.iter().map(|&(s, resp, _)| (s, resp)).collect())
@@ -447,7 +374,7 @@ fn merge_reports(cfg: &ShardedOpenConfig, reports: &[ShardReport]) -> OpenOutcom
         .iter()
         .map(|r| r.samples.iter().map(|&(s, _, sd)| (s, sd)).collect())
         .collect();
-    let response = merged_batch_means(&responses, slots, cfg.open.batches)
+    let response = merged_batch_means(&responses, slots, open.batches)
         .expect("steady shards tile the measurement slots");
     let slowdown_samples =
         merge_shard_samples(&slowdowns, slots).expect("steady shards tile the measurement slots");
@@ -457,10 +384,6 @@ fn merge_reports(cfg: &ShardedOpenConfig, reports: &[ShardReport]) -> OpenOutcom
         .iter()
         .map(|r| (r.mean_jobs_in_system, r.quanta as f64))
         .collect();
-    let capacity: f64 = reports
-        .iter()
-        .map(|r| r.processors as f64 * r.horizon as f64)
-        .sum();
     let completed_work: u64 = reports.iter().map(|r| r.completed_work).sum();
     let utilization = if capacity == 0.0 {
         0.0
@@ -470,7 +393,7 @@ fn merge_reports(cfg: &ShardedOpenConfig, reports: &[ShardReport]) -> OpenOutcom
     OpenOutcome::Steady(SteadyStats {
         response,
         slowdown,
-        completed: cfg.open.measured_jobs,
+        completed: open.measured_jobs,
         arrivals,
         quanta,
         horizon,
@@ -559,7 +482,13 @@ where
             &make_calculator,
         )
     });
-    merge_reports(cfg, &reports)
+    // Fixed groups: each shard's capacity integral is its processor
+    // count times its own horizon.
+    let capacity: f64 = reports
+        .iter()
+        .map(|r| r.processors as f64 * r.horizon as f64)
+        .sum();
+    merge_reports(&cfg.open, &reports, capacity)
 }
 
 #[cfg(test)]

@@ -249,6 +249,28 @@ where
         self.slots.iter().any(|s| s.release_step <= self.now)
     }
 
+    /// Sum of the standing requests `d(q)` of the jobs live at the
+    /// current boundary — the aggregate processor desire this core
+    /// would report to a higher-level allocator. Pending (not yet
+    /// released) jobs do not count.
+    pub fn live_request_sum(&self) -> f64 {
+        self.slots
+            .iter()
+            .filter(|s| s.release_step <= self.now)
+            .map(|s| s.request)
+            .sum()
+    }
+
+    /// Replaces the machine-wide allocator mid-run — the mechanism a
+    /// top-level allocator uses to grow or shrink this core's machine
+    /// at a reallocation epoch. Takes effect from the next quantum; the
+    /// frozen-quantum cache is invalidated because the cached grant
+    /// picture was computed against the old machine.
+    pub fn set_allocator(&mut self, allocator: A) {
+        self.allocator = allocator;
+        self.frozen_valid = false;
+    }
+
     /// Earliest release step among in-system jobs, if any.
     pub fn next_release(&self) -> Option<u64> {
         self.slots.iter().map(|s| s.release_step).min()
@@ -807,6 +829,46 @@ mod tests {
         let mut done = Vec::new();
         core.step_quantum(&mut done);
         assert_eq!(core.advance_frozen(1000), 0);
+    }
+
+    #[test]
+    fn live_request_sum_counts_only_released_jobs() {
+        let mut core = QuantumCore::new(DynamicEquiPartition::new(8), 10, NullProbe);
+        assert_eq!(core.live_request_sum(), 0.0);
+        core.admit(job(2, 40), ConstantRequest::new(2.0), 0);
+        core.admit(job(2, 40), ConstantRequest::new(3.0), 0);
+        // Released in the future: desire must not count it yet.
+        core.admit(job(2, 40), ConstantRequest::new(5.0), 25);
+        assert_eq!(core.live_request_sum(), 5.0);
+        let mut done = Vec::new();
+        core.step_quantum(&mut done);
+        core.step_quantum(&mut done);
+        core.step_quantum(&mut done);
+        assert_eq!(core.now(), 30);
+        assert_eq!(core.live_request_sum(), 10.0, "pending job now released");
+    }
+
+    #[test]
+    fn set_allocator_resizes_the_machine_and_thaws_the_frozen_cache() {
+        // A width-4 job on 8 processors: after one real quantum the run
+        // is frozen. Swapping in a 2-processor machine must invalidate
+        // the cached grant picture and halve the allotment from the
+        // next quantum on (visible as one extra reallocation).
+        let mut core = QuantumCore::new(DynamicEquiPartition::new(8), 10, NullProbe);
+        core.admit(job(4, 400), ConstantRequest::new(4.0), 0);
+        let mut done = Vec::new();
+        core.step_quantum(&mut done);
+        assert!(core.frozen_quantum_len().is_some());
+        core.set_allocator(DynamicEquiPartition::new(2));
+        assert_eq!(core.frozen_quantum_len(), None, "cache must thaw");
+        assert_eq!(core.advance_frozen(1000), 0);
+        while core.jobs_in_system() > 0 {
+            core.step_quantum(&mut done);
+        }
+        // Width 4 on 2 processors: each level costs 2 steps from the
+        // swap on, so the job finishes later than the 100-step ideal.
+        assert_eq!(done[0].reallocations, 1, "the shrink, 4 -> 2");
+        assert!(done[0].completion > 100);
     }
 
     #[test]
