@@ -607,7 +607,7 @@ fn bench_json(
     };
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"abg-bench-kernels/v1\",\n");
+    s.push_str("  \"schema\": \"abg-bench-kernels/v2\",\n");
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     s.push_str(&format!("  \"seed\": {},\n", cfg.seed));
     s.push_str(&format!("  \"min_wall_ms\": {},\n", cfg.min_wall_ms));
@@ -615,7 +615,8 @@ fn bench_json(
     for (i, r) in results.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"kernel\": \"{}\", \"iters\": {}, \"ops\": {}, \"steps\": {}, \
-             \"wall_ms\": {}, \"ops_per_sec\": {}, \"steps_per_sec\": {}}}{}\n",
+             \"wall_ms\": {}, \"ops_per_sec\": {}, \"steps_per_sec\": {}, \
+             \"peak_jobs_in_system\": {}, \"bytes_per_live_job\": {}}}{}\n",
             r.kernel,
             r.iters,
             r.ops,
@@ -623,6 +624,8 @@ fn bench_json(
             num(r.wall_ms),
             num(r.ops_per_sec),
             num(r.steps_per_sec),
+            r.peak_jobs_in_system,
+            r.bytes_per_live_job,
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
@@ -645,7 +648,9 @@ fn baseline_steps_per_sec(json: &str, kernel: &str) -> Option<f64> {
     let row = &rest[..rest.find('}')?];
     let key = "\"steps_per_sec\": ";
     let val = &row[row.find(key)? + key.len()..];
-    val.trim().trim_end_matches(',').trim().parse().ok()
+    // Tolerate trailing fields after the value (v2 rows carry the
+    // memory-scale figures behind it) as well as end-of-row.
+    val.split(',').next()?.trim().parse().ok()
 }
 
 /// Kernels the `--check` regression gate covers: the hot-loop kernels
@@ -657,11 +662,12 @@ fn baseline_steps_per_sec(json: &str, kernel: &str) -> Option<f64> {
 /// committed quanta price the per-shard population win
 /// (`open_sharded`), the hierarchical two-level driver whose epoch
 /// barriers and desire feedback ride on the same decomposition
-/// (`open_hier`), and the monomorphized unified quantum core in mixed
-/// closed+open use. All are stable well within the 30% band on an
-/// otherwise idle machine, so a trip means a real regression, not
-/// noise.
-const GATED_KERNELS: [&str; 8] = [
+/// (`open_hier`), the completion-heavy churn kernel that prices the
+/// slab live-set storage (`open_churn`), and the monomorphized unified
+/// quantum core in mixed closed+open use. All are stable well within
+/// the 30% band on an otherwise idle machine, so a trip means a real
+/// regression, not noise.
+const GATED_KERNELS: [&str; 9] = [
     "chain_macro",
     "forkjoin_tree",
     "forkjoin_bundle",
@@ -669,6 +675,7 @@ const GATED_KERNELS: [&str; 8] = [
     "open_event",
     "open_sharded",
     "open_hier",
+    "open_churn",
     "unified_engine",
 ];
 
@@ -723,9 +730,24 @@ fn bench(opts: &Options) -> Result<(), String> {
     let results = experiments::run_kernel_suite(&cfg);
     let speedup = experiments::kernel_speedup(&results, "chain_macro", "chain_reference");
     let mut t = Table::new(&[
-        "kernel", "iters", "ops", "steps", "wall_ms", "ops/s", "steps/s",
+        "kernel",
+        "iters",
+        "ops",
+        "steps",
+        "wall_ms",
+        "ops/s",
+        "steps/s",
+        "peak_jobs",
+        "B/job",
     ]);
     for r in &results {
+        let dash_zero = |v: u64| {
+            if v == 0 {
+                "-".to_string()
+            } else {
+                v.to_string()
+            }
+        };
         t.row_owned(vec![
             r.kernel.clone(),
             r.iters.to_string(),
@@ -734,6 +756,8 @@ fn bench(opts: &Options) -> Result<(), String> {
             format!("{:.2}", r.wall_ms),
             format!("{:.0}", r.ops_per_sec),
             format!("{:.0}", r.steps_per_sec),
+            dash_zero(r.peak_jobs_in_system),
+            dash_zero(r.bytes_per_live_job),
         ]);
     }
     emit(
@@ -957,6 +981,8 @@ mod tests {
             wall_ms: 1.0,
             ops_per_sec: steps_per_sec,
             steps_per_sec,
+            peak_jobs_in_system: 42,
+            bytes_per_live_job: 128,
         }
     }
 

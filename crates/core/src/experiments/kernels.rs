@@ -12,16 +12,17 @@
 
 use super::single_job::{single_job_sweep_with_steps, SingleJobSweepConfig};
 use abg_alloc::DynamicEquiPartition;
-use abg_control::AControl;
+use abg_control::{AControl, ConstantRequest};
 use abg_dag::{generate, LeveledJob, Phase, PhasedJob};
 use abg_sched::{
     BGreedyExecutor, JobExecutor, LeveledExecutor, PipelinedExecutor, ReferenceBGreedyExecutor,
 };
-use abg_sim::{MultiJobSim, NullProbe, QuantumCore};
+use abg_sim::{live_job_footprint, CompletedJob, MultiJobSim, NullProbe, QuantumCore};
 use abg_workload::{JobSetSpec, ReleaseSchedule};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -92,6 +93,18 @@ pub struct KernelBenchConfig {
     /// count while the per-event cost scales with the per-shard
     /// population.
     pub open_shards: u32,
+    /// Jobs pushed through the `open_churn` kernel — short jobs on a
+    /// dense deterministic arrival grid, every one admitted up front
+    /// with a future release step. Completions land in nearly every
+    /// quantum, so the kernel prices the core's storage layer: slot
+    /// scan/reclamation under churn, with the live set a small fraction
+    /// of the in-system population.
+    pub churn_jobs: u64,
+    /// Jobs of the `open_churn_large` variant: the same regime scaled
+    /// until the system *holds* a 10⁵-order job population, so the
+    /// kernel demonstrates per-quantum cost scaling with the live set,
+    /// not with everything admitted.
+    pub churn_large_jobs: u64,
     /// Suite seed (job generation only; timings are machine-dependent).
     pub seed: u64,
 }
@@ -124,6 +137,8 @@ impl KernelBenchConfig {
             open_levels: 100_000,
             open_event_rho: 0.85,
             open_shards: 4,
+            churn_jobs: 10_000,
+            churn_large_jobs: 150_000,
             seed: 0xB16C_2008,
         }
     }
@@ -167,6 +182,8 @@ impl KernelBenchConfig {
             // regime the full-size baseline prices.
             open_event_rho: 0.7,
             open_shards: 4,
+            churn_jobs: 1_500,
+            churn_large_jobs: 8_000,
             seed: 0xB16C_2008,
         }
     }
@@ -191,6 +208,14 @@ pub struct KernelResult {
     pub ops_per_sec: f64,
     /// Simulated steps per wall-clock second.
     pub steps_per_sec: f64,
+    /// Peak in-system job population of the kernel's simulation — the
+    /// memory high-water mark of the open kernels (0 where the notion
+    /// does not apply).
+    pub peak_jobs_in_system: u64,
+    /// Estimated core-side bytes per in-system job (slot plus scratch
+    /// share, see [`abg_sim::live_job_footprint`]; 0 where the notion
+    /// does not apply).
+    pub bytes_per_live_job: u64,
 }
 
 /// Repeats `body` until `min_wall_ms` has elapsed (at least once) and
@@ -222,7 +247,56 @@ where
         wall_ms: wall.as_secs_f64() * 1e3,
         ops_per_sec: ops as f64 / secs,
         steps_per_sec: steps as f64 / secs,
+        peak_jobs_in_system: 0,
+        bytes_per_live_job: 0,
     }
+}
+
+/// One repetition of a churn kernel: `n_jobs` short barrier-leveled
+/// jobs (width 4, 200 levels, `T1 = 800`) on a deterministic arrival
+/// grid at effective-server utilization 0.85 — each job asks for 2
+/// processors, so level boundaries align with quantum boundaries and
+/// nearly every quantum both admits releases and reclaims completions.
+/// The *entire* calendar is admitted up front with future release
+/// steps: the storage layer holds every not-yet-completed job while
+/// only the O(live) set is scheduled, which is exactly the regime where
+/// per-quantum full-population scans (and compaction on completion)
+/// dominate. Executors are pooled across repetitions, so the
+/// measurement prices the core, not job construction.
+fn churn_body<'j>(
+    processors: u32,
+    n_jobs: u64,
+    job: &'j LeveledJob,
+    pool: &mut Vec<LeveledExecutor<&'j LeveledJob>>,
+    done: &mut Vec<CompletedJob>,
+) -> (u64, u64) {
+    // Mean gap T1 / (0.85 · P) as an exact integer grid: arrival `i`
+    // releases at ⌊i · 100·T1 / (85·P)⌋.
+    let gap_num = 100 * 800;
+    let gap_den = 85 * processors as u64;
+    let mut core = QuantumCore::new(DynamicEquiPartition::new(processors), 100, NullProbe);
+    for i in 0..n_jobs {
+        let ex = match pool.pop() {
+            Some(mut e) => {
+                e.reset();
+                e
+            }
+            None => LeveledExecutor::new(job),
+        };
+        core.admit(ex, ConstantRequest::new(2.0), i * gap_num / gap_den);
+    }
+    let mut completed = 0u64;
+    while core.jobs_in_system() > 0 {
+        if !core.any_live() {
+            let next = core.next_release().expect("jobs pending");
+            core.skip_idle_until(next);
+            continue;
+        }
+        done.clear();
+        core.step_quantum_reclaiming(done, pool);
+        completed += done.len() as u64;
+    }
+    (completed, core.now())
 }
 
 /// Runs every kernel once and returns the measurements in suite order.
@@ -399,6 +473,15 @@ pub fn run_kernel_suite(cfg: &KernelBenchConfig) -> Vec<KernelResult> {
     // seed keeps both iter-constant.
     let open_t1 = 8.0 * cfg.open_levels as f64;
     let open_job = Arc::new(PhasedJob::constant(8, cfg.open_levels));
+    // Every boxed open driver stores the same erased slot types, so one
+    // footprint figure covers the four driver kernels. The peak
+    // population is read off the final repetition's steady report — the
+    // fixed seed makes every repetition identical.
+    let boxed_footprint = live_job_footprint::<
+        Box<dyn JobExecutor + Send>,
+        Box<dyn abg_control::RequestCalculator + Send>,
+    >() as u64;
+    let peak = Cell::new(0u64);
     let open_cfg = abg_queue::OpenConfig {
         processors: cfg.processors,
         quantum_len: 100,
@@ -412,7 +495,7 @@ pub fn run_kernel_suite(cfg: &KernelBenchConfig) -> Vec<KernelResult> {
         saturation: abg_queue::SaturationConfig::default(),
         seed: cfg.seed,
     };
-    results.push(measure("open_system", ms, || {
+    let mut open_res = measure("open_system", ms, || {
         let out = abg_queue::run_open_system(
             &open_cfg,
             DynamicEquiPartition::new(cfg.processors),
@@ -430,8 +513,12 @@ pub fn run_kernel_suite(cfg: &KernelBenchConfig) -> Vec<KernelResult> {
             || Box::new(AControl::new(0.2)),
         );
         let stats = out.steady().expect("kernel rho must be stable");
+        peak.set(stats.peak_jobs_in_system);
         (stats.arrivals, stats.horizon)
-    }));
+    });
+    open_res.peak_jobs_in_system = peak.get();
+    open_res.bytes_per_live_job = boxed_footprint;
+    results.push(open_res);
 
     // Composite: the same event-driven driver at high offered load —
     // the macro-stepping stress case. A double-digit population is live
@@ -448,7 +535,7 @@ pub fn run_kernel_suite(cfg: &KernelBenchConfig) -> Vec<KernelResult> {
         },
         ..open_cfg.clone()
     };
-    results.push(measure("open_event", ms, || {
+    let mut event_res = measure("open_event", ms, || {
         let out = abg_queue::run_open_system(
             &event_cfg,
             DynamicEquiPartition::new(cfg.processors),
@@ -463,8 +550,12 @@ pub fn run_kernel_suite(cfg: &KernelBenchConfig) -> Vec<KernelResult> {
             || Box::new(AControl::new(0.2)),
         );
         let stats = out.steady().expect("kernel rho must be stable");
+        peak.set(stats.peak_jobs_in_system);
         (stats.arrivals, stats.horizon)
-    }));
+    });
+    event_res.peak_jobs_in_system = peak.get();
+    event_res.bytes_per_live_job = boxed_footprint;
+    results.push(event_res);
 
     // Composite: the sharded open-system engine at the same offered
     // load as `open_event`, the machine split into `open_shards`
@@ -492,7 +583,7 @@ pub fn run_kernel_suite(cfg: &KernelBenchConfig) -> Vec<KernelResult> {
         shards: cfg.open_shards,
         routing: abg_queue::ShardRouting::RoundRobin,
     };
-    results.push(measure("open_sharded", ms, || {
+    let mut sharded_res = measure("open_sharded", ms, || {
         let out = abg_queue::run_open_sharded_with_threads(
             &sharded_cfg,
             DynamicEquiPartition::new,
@@ -508,8 +599,12 @@ pub fn run_kernel_suite(cfg: &KernelBenchConfig) -> Vec<KernelResult> {
             1,
         );
         let stats = out.steady().expect("kernel rho must be stable");
+        peak.set(stats.peak_jobs_in_system);
         (stats.arrivals, stats.quanta * 100)
-    }));
+    });
+    sharded_res.peak_jobs_in_system = peak.get();
+    sharded_res.bytes_per_live_job = boxed_footprint;
+    results.push(sharded_res);
 
     // Composite: the hierarchical two-level driver over the same
     // decomposition as `open_sharded`, but with the desire-proportional
@@ -528,7 +623,7 @@ pub fn run_kernel_suite(cfg: &KernelBenchConfig) -> Vec<KernelResult> {
         realloc_epoch: 64,
         group_floor: 1,
     };
-    results.push(measure("open_hier", ms, || {
+    let mut hier_res = measure("open_hier", ms, || {
         let out = abg_queue::run_open_hierarchical_with_threads(
             &hier_cfg,
             DynamicEquiPartition::new,
@@ -545,8 +640,48 @@ pub fn run_kernel_suite(cfg: &KernelBenchConfig) -> Vec<KernelResult> {
             1,
         );
         let stats = out.steady().expect("kernel rho must be stable");
+        peak.set(stats.peak_jobs_in_system);
         (stats.arrivals, stats.quanta * 100)
-    }));
+    });
+    hier_res.peak_jobs_in_system = peak.get();
+    hier_res.bytes_per_live_job = boxed_footprint;
+    results.push(hier_res);
+
+    // Storage-layer kernels: the completion-heavy churn regime. Short
+    // jobs on a dense arrival grid, the whole calendar admitted up
+    // front — the core holds the full in-system population while only
+    // the small live set does work each quantum, so these two price the
+    // live-set bookkeeping itself (the `open_churn` kernel is gated; the
+    // large variant demonstrates the population-independent scaling).
+    let churn_job = LeveledJob::constant(4, 200); // T1 = 800: four exact quanta at allotment 2
+    let churn_footprint = live_job_footprint::<LeveledExecutor<&LeveledJob>, ConstantRequest>();
+    let mut churn_pool: Vec<LeveledExecutor<&LeveledJob>> = Vec::new();
+    let mut churn_done: Vec<CompletedJob> = Vec::new();
+    let mut churn_res = measure("open_churn", ms, || {
+        churn_body(
+            cfg.processors,
+            cfg.churn_jobs,
+            &churn_job,
+            &mut churn_pool,
+            &mut churn_done,
+        )
+    });
+    churn_res.peak_jobs_in_system = cfg.churn_jobs;
+    churn_res.bytes_per_live_job = churn_footprint as u64;
+    results.push(churn_res);
+
+    let mut churn_large_res = measure("open_churn_large", ms, || {
+        churn_body(
+            cfg.processors,
+            cfg.churn_large_jobs,
+            &churn_job,
+            &mut churn_pool,
+            &mut churn_done,
+        )
+    });
+    churn_large_res.peak_jobs_in_system = cfg.churn_large_jobs;
+    churn_large_res.bytes_per_live_job = churn_footprint as u64;
+    results.push(churn_large_res);
 
     // The unified quantum core driven directly, fully monomorphized (no
     // boxed executors or controllers, `NullProbe` instrumentation
@@ -628,6 +763,8 @@ mod tests {
                 "open_event",
                 "open_sharded",
                 "open_hier",
+                "open_churn",
+                "open_churn_large",
                 "unified_engine",
             ]
         );
@@ -643,6 +780,30 @@ mod tests {
                 0,
                 "{}: steps not iter-constant",
                 r.kernel
+            );
+        }
+    }
+
+    /// Full-size churn measurement on its own, without the rest of the
+    /// suite — the before/after probe of the live-set storage layer:
+    /// `cargo test --release -p abg churn_probe -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "measurement probe, not a correctness test"]
+    fn churn_probe() {
+        let cfg = KernelBenchConfig::full();
+        let job = LeveledJob::constant(4, 200);
+        let mut pool = Vec::new();
+        let mut done = Vec::new();
+        for (name, jobs) in [
+            ("open_churn", cfg.churn_jobs),
+            ("open_churn_large", cfg.churn_large_jobs),
+        ] {
+            let r = measure(name, 2_000, || {
+                churn_body(cfg.processors, jobs, &job, &mut pool, &mut done)
+            });
+            println!(
+                "{name}: iters={} steps/s={:.0} ops/s={:.0}",
+                r.iters, r.steps_per_sec, r.ops_per_sec
             );
         }
     }

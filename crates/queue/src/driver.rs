@@ -215,6 +215,12 @@ pub struct SteadyStats {
     pub horizon: u64,
     /// Time-average in-system job count over executed quanta.
     pub mean_jobs_in_system: f64,
+    /// Peak in-system job count over executed quanta — the memory
+    /// high-water mark of the run (the live-set storage scales with this
+    /// figure, not with total arrivals). Sharded and hierarchical runs
+    /// report the sum of the per-group peaks: an upper bound on the
+    /// aggregate footprint (the groups need not peak simultaneously).
+    pub peak_jobs_in_system: u64,
     /// Completed work over machine capacity `P · horizon` — the
     /// utilization the machine actually served (sanity check against
     /// the offered ρ).
@@ -453,6 +459,7 @@ fn steady_stats<A: Allocator, P: Probe>(
         quanta: engine.quanta(),
         horizon,
         mean_jobs_in_system: detector.mean_jobs_in_system(),
+        peak_jobs_in_system: detector.peak_jobs_in_system(),
         measured_utilization: measured_utilization(completed_work, cfg.processors, horizon),
     })
 }

@@ -48,6 +48,9 @@ pub struct ArrivalCalendar {
     stream: ArrivalStream,
     pending: VecDeque<u64>,
     batch: usize,
+    /// Refill scratch reused across batches, so the steady-state loop
+    /// allocates nothing per refill.
+    refill: Vec<u64>,
 }
 
 impl ArrivalCalendar {
@@ -65,6 +68,7 @@ impl ArrivalCalendar {
             stream: process.stream(),
             pending: VecDeque::new(),
             batch,
+            refill: Vec::new(),
         }
     }
 
@@ -74,9 +78,11 @@ impl ArrivalCalendar {
     /// stream and RNG, draw for draw.
     pub fn next_arrival<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
         if self.pending.is_empty() {
-            let mut buf = Vec::new();
-            self.stream.next_batch(self.batch, rng, &mut buf);
-            self.pending.extend(buf);
+            // `next_batch` appends, so the scratch is cleared first; the
+            // buffer itself persists across refills.
+            self.refill.clear();
+            self.stream.next_batch(self.batch, rng, &mut self.refill);
+            self.pending.extend(self.refill.iter().copied());
         }
         self.pending.pop_front().expect("batch refill is non-empty")
     }

@@ -452,6 +452,7 @@ impl<A: Allocator> GroupSim<A> {
             horizon: self.engine.now(),
             jobs_in_system: self.engine.jobs_in_system() as u64,
             mean_jobs_in_system: self.detector.mean_jobs_in_system(),
+            peak_jobs_in_system: self.detector.peak_jobs_in_system(),
             tripped: self.tripped,
         }
     }

@@ -28,9 +28,12 @@ const QUANTUM_LEN: u64 = 10;
 /// only used to translate ρ into a mean gap; bit-identity holds for
 /// any load, so precision is irrelevant here.
 const APPROX_T1: f64 = 200.0;
+/// Rough `E[T₁]` of the short `mixed_factor_job(4, 10, 1, _)`
+/// population the high-churn cases arrive at.
+const APPROX_SHORT_T1: f64 = 50.0;
 
-fn config(rho: f64, poisson: bool, seed: u64) -> OpenConfig {
-    let gap = mean_gap_for_utilization(rho, PROCESSORS, APPROX_T1);
+fn config_with(rho: f64, poisson: bool, seed: u64, approx_t1: f64) -> OpenConfig {
+    let gap = mean_gap_for_utilization(rho, PROCESSORS, approx_t1);
     let arrivals = if poisson {
         ArrivalProcess::Poisson { mean_gap: gap }
     } else {
@@ -57,6 +60,10 @@ fn config(rho: f64, poisson: bool, seed: u64) -> OpenConfig {
     }
 }
 
+fn config(rho: f64, poisson: bool, seed: u64) -> OpenConfig {
+    config_with(rho, poisson, seed, APPROX_T1)
+}
+
 /// Heterogeneous population sampled from the driver's RNG — every
 /// arrival consumes structure draws interleaved with the Poisson gap
 /// draws, pinning the calendar's lookahead-of-one RNG discipline.
@@ -71,6 +78,25 @@ fn make_executor(
         rng,
     )))
 }
+
+/// Short-job population for the high-churn cases: most jobs span only
+/// a handful of quanta, so completions (and with them the slab core's
+/// reclamation path) land in nearly every quantum.
+fn make_short_executor(
+    rng: &mut StdRng,
+    _recycled: Option<Box<dyn JobExecutor + Send>>,
+) -> Box<dyn JobExecutor + Send> {
+    Box::new(PipelinedExecutor::new(mixed_factor_job(
+        4,
+        QUANTUM_LEN,
+        1,
+        rng,
+    )))
+}
+
+/// The job-population factory a lockstep case arrives jobs from.
+type ExecFactory =
+    fn(&mut StdRng, Option<Box<dyn JobExecutor + Send>>) -> Box<dyn JobExecutor + Send>;
 
 fn make_controller(abg: bool) -> Box<dyn RequestCalculator + Send> {
     if abg {
@@ -102,6 +128,7 @@ fn assert_outcome_bits_eq(reference: &OpenOutcome, event: &OpenOutcome) {
                 r.mean_jobs_in_system.to_bits(),
                 e.mean_jobs_in_system.to_bits()
             );
+            assert_eq!(r.peak_jobs_in_system, e.peak_jobs_in_system);
             assert_eq!(
                 r.measured_utilization.to_bits(),
                 e.measured_utilization.to_bits()
@@ -114,13 +141,13 @@ fn assert_outcome_bits_eq(reference: &OpenOutcome, event: &OpenOutcome) {
     }
 }
 
-fn run_case<A: Allocator, F: Fn() -> A>(alloc: F, rho: f64, poisson: bool, abg: bool, seed: u64) {
-    let cfg = config(rho, poisson, seed);
+fn run_case<A: Allocator, F: Fn() -> A>(alloc: F, cfg: &OpenConfig, exec: ExecFactory, abg: bool) {
+    let cfg = cfg.clone();
 
     // Uninstrumented fast path: NullProbe declines the replay, so
     // frozen windows cost O(live) — and the outcome must still match.
-    let reference = ReferenceOpenDriver::run(&cfg, alloc(), make_executor, || make_controller(abg));
-    let event = crate::run_open_system(&cfg, alloc(), make_executor, || make_controller(abg));
+    let reference = ReferenceOpenDriver::run(&cfg, alloc(), exec, || make_controller(abg));
+    let event = crate::run_open_system(&cfg, alloc(), exec, || make_controller(abg));
     assert_outcome_bits_eq(&reference, &event);
 
     // Probed path: the replay must reproduce the reference hook
@@ -128,14 +155,14 @@ fn run_case<A: Allocator, F: Fn() -> A>(alloc: F, rho: f64, poisson: bool, abg: 
     let (ref_out, ref_probe) = ReferenceOpenDriver::run_probed(
         &cfg,
         alloc(),
-        make_executor,
+        exec,
         || make_controller(abg),
         TraceProbe::new().retaining(),
     );
     let (ev_out, ev_probe) = run_open_system_probed(
         &cfg,
         alloc(),
-        make_executor,
+        exec,
         || make_controller(abg),
         TraceProbe::new().retaining(),
     );
@@ -163,10 +190,31 @@ proptest! {
         abg in (0u8..2).prop_map(|b| b == 1),
         seed in 0u64..u64::MAX,
     ) {
+        let cfg = config(rho, poisson, seed);
         if deq {
-            run_case(|| DynamicEquiPartition::new(PROCESSORS), rho, poisson, abg, seed);
+            run_case(|| DynamicEquiPartition::new(PROCESSORS), &cfg, make_executor, abg);
         } else {
-            run_case(|| Proportional::new(PROCESSORS), rho, poisson, abg, seed);
+            run_case(|| Proportional::new(PROCESSORS), &cfg, make_executor, abg);
+        }
+    }
+
+    /// High-churn regime: near-saturation load over short jobs, so the
+    /// slab core admits and reclaims slots in nearly every quantum —
+    /// the storage rewrite's stress case. Saturated seeds compare their
+    /// `Unstable` reports bit-for-bit instead.
+    #[test]
+    fn high_churn_slab_core_matches_reference_bit_for_bit(
+        rho in prop_oneof![Just(0.9), Just(0.97)],
+        poisson in (0u8..2).prop_map(|b| b == 1),
+        deq in (0u8..2).prop_map(|b| b == 1),
+        abg in (0u8..2).prop_map(|b| b == 1),
+        seed in 0u64..u64::MAX,
+    ) {
+        let cfg = config_with(rho, poisson, seed, APPROX_SHORT_T1);
+        if deq {
+            run_case(|| DynamicEquiPartition::new(PROCESSORS), &cfg, make_short_executor, abg);
+        } else {
+            run_case(|| Proportional::new(PROCESSORS), &cfg, make_short_executor, abg);
         }
     }
 }

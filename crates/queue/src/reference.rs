@@ -137,6 +137,7 @@ impl ReferenceOpenDriver {
                     quanta: engine.quanta(),
                     horizon,
                     mean_jobs_in_system: detector.mean_jobs_in_system(),
+                    peak_jobs_in_system: detector.peak_jobs_in_system(),
                     measured_utilization: measured_utilization(
                         completed_work,
                         cfg.processors,

@@ -127,6 +127,13 @@ impl SaturationDetector {
         self.samples.is_empty()
     }
 
+    /// Peak in-system jobs over every recorded sample (0 before any
+    /// sample) — the memory-scale figure the bench harness reports per
+    /// open kernel.
+    pub fn peak_jobs_in_system(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
     /// Mean in-system jobs over every recorded sample.
     pub fn mean_jobs_in_system(&self) -> f64 {
         if self.samples.is_empty() {

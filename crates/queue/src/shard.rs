@@ -225,6 +225,7 @@ pub(crate) struct ShardReport {
     pub(crate) horizon: u64,
     pub(crate) jobs_in_system: u64,
     pub(crate) mean_jobs_in_system: f64,
+    pub(crate) peak_jobs_in_system: u64,
     pub(crate) tripped: Option<SaturationReason>,
 }
 
@@ -398,6 +399,9 @@ pub(crate) fn merge_reports(
         quanta,
         horizon,
         mean_jobs_in_system: weighted_mean(&weights),
+        // Summed per-group peaks: an aggregate-footprint upper bound
+        // (the groups need not peak at the same instant).
+        peak_jobs_in_system: reports.iter().map(|r| r.peak_jobs_in_system).sum(),
         measured_utilization: utilization,
     })
 }
