@@ -4,8 +4,8 @@
 use crate::options::Options;
 use abg::experiments::{
     self, AblationConfig, AdaptiveQuantumConfig, AllocatorPolicyConfig, MultiprogrammedConfig,
-    OpenSystemConfig, OpenSystemRow, OverheadConfig, RobustnessConfig, SchedulerOpenPoint,
-    SingleJobSweepConfig, StealingConfig, TransientConfig,
+    OpenSystemConfig, OpenSystemRow, OpenWorkload, OverheadConfig, RobustnessConfig,
+    SchedulerOpenPoint, SingleJobSweepConfig, StealingConfig, TransientConfig,
 };
 use abg::report::{f3, mark, Chart, Table};
 use abg_sched::JobExecutor as _;
@@ -663,19 +663,23 @@ fn baseline_steps_per_sec(json: &str, kernel: &str) -> Option<f64> {
 /// (`open_sharded`), the hierarchical two-level driver whose epoch
 /// barriers and desire feedback ride on the same decomposition
 /// (`open_hier`), the completion-heavy churn kernel that prices the
-/// slab live-set storage (`open_churn`), and the monomorphized unified
-/// quantum core in mixed closed+open use. All are stable well within
+/// slab live-set storage (`open_churn`), the monomorphized unified
+/// quantum core in mixed closed+open use, the weighted-residual frontier
+/// path (`weighted_frontier`), and the open system fed by generated
+/// weighted workflows (`workflow_open`). All are stable well within
 /// the 30% band on an otherwise idle machine, so a trip means a real
 /// regression, not noise.
-const GATED_KERNELS: [&str; 9] = [
+const GATED_KERNELS: [&str; 11] = [
     "chain_macro",
     "forkjoin_tree",
     "forkjoin_bundle",
+    "weighted_frontier",
     "open_system",
     "open_event",
     "open_sharded",
     "open_hier",
     "open_churn",
+    "workflow_open",
     "unified_engine",
 ];
 
@@ -889,6 +893,20 @@ fn open(opts: &Options) -> Result<(), String> {
     }
     if let Some(epoch) = opts.realloc_epoch {
         cfg.realloc_epoch = epoch;
+    }
+    if opts.workflow.is_some() && opts.dag_file.is_some() {
+        return Err("--workflow and --dag-file are mutually exclusive".into());
+    }
+    if let Some(name) = &opts.workflow {
+        let kind: abg_workload::WorkflowKind = name.parse()?;
+        // Smoke keeps arrivals small enough for the CI step; the full
+        // sweep uses a wider stage fan-out.
+        let scale = if opts.smoke { 8 } else { 16 };
+        cfg.workload = OpenWorkload::Workflow { kind, scale };
+    }
+    if let Some(path) = &opts.dag_file {
+        let dag = abg_workload::load_dag(path).map_err(|e| e.to_string())?;
+        cfg.workload = OpenWorkload::Trace(std::sync::Arc::new(dag));
     }
     // Reject an inconsistent measurement setup with a message instead
     // of letting the sweep panic mid-run.
@@ -1132,5 +1150,40 @@ mod tests {
             err,
             "unknown group allocator 'greedy' (expected static, desire or conservative)"
         );
+    }
+
+    /// The workload flags fail fast: conflicting flags, unknown family
+    /// names and unreadable dag files all surface their typed messages
+    /// before any simulation runs.
+    #[test]
+    fn open_rejects_bad_workload_flags_with_the_typed_messages() {
+        let base = Options {
+            command: Some("open".into()),
+            smoke: true,
+            ..Options::default()
+        };
+        let err = open(&Options {
+            workflow: Some("mapreduce".into()),
+            dag_file: Some("x.dag".into()),
+            ..base.clone()
+        })
+        .unwrap_err();
+        assert_eq!(err, "--workflow and --dag-file are mutually exclusive");
+        let err = open(&Options {
+            workflow: Some("cyclone".into()),
+            ..base.clone()
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            "unknown workflow 'cyclone' (expected one of: diamond, mapreduce, montage, \
+             epigenomics)"
+        );
+        let err = open(&Options {
+            dag_file: Some("/no/such/file.dag".into()),
+            ..base
+        })
+        .unwrap_err();
+        assert!(err.starts_with("dag file i/o error:"), "{err}");
     }
 }

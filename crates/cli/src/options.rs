@@ -35,6 +35,14 @@ pub struct Options {
     /// Reallocation epoch in quanta (the `open` subcommand). Zero
     /// parses; the typed config validation rejects it.
     pub realloc_epoch: Option<u64>,
+    /// Workflow family for open-system arrivals (the `open`
+    /// subcommand); resolved against
+    /// [`abg_workload::WorkflowKind`] when the command runs so the
+    /// error message lists the valid names.
+    pub workflow: Option<String>,
+    /// Dag-file path whose dag every open-system arrival replays (the
+    /// `open` subcommand); mutually exclusive with `--workflow`.
+    pub dag_file: Option<String>,
     /// Append ASCII charts after the tables.
     pub plot: bool,
     /// Write machine-readable JSON output (the `bench` subcommand).
@@ -93,6 +101,10 @@ flags:
                        or conservative (default static)
   --realloc-epoch Q    open: reallocate group capacities every Q quanta
                        (default 50)
+  --workflow W         open: weighted workflow arrivals — diamond, mapreduce,
+                       montage or epigenomics (default: mixed-factor jobs)
+  --dag-file PATH      open: every arrival replays the dag loaded from the
+                       text dag file at PATH (excludes --workflow)
   --threads N          harness worker count (overrides ABG_THREADS; results
                        are identical for any count, only wall-clock changes)
   -h, --help           this text";
@@ -150,6 +162,14 @@ flags:
                         .parse()
                         .map_err(|_| format!("invalid reallocation epoch '{v}'"))?;
                     opts.realloc_epoch = Some(n);
+                }
+                "--workflow" => {
+                    let v = it.next().ok_or("--workflow needs a family name")?;
+                    opts.workflow = Some(v.clone());
+                }
+                "--dag-file" => {
+                    let v = it.next().ok_or("--dag-file needs a path")?;
+                    opts.dag_file = Some(v.clone());
                 }
                 "--threads" => {
                     let v = it.next().ok_or("--threads needs a value")?;
@@ -301,6 +321,26 @@ mod tests {
                 .unwrap()
                 .realloc_epoch,
             Some(0)
+        );
+    }
+
+    #[test]
+    fn parses_workflow_and_dag_file_flags() {
+        let o = parse(&["open", "--smoke", "--workflow", "mapreduce"]).unwrap();
+        assert_eq!(o.workflow.as_deref(), Some("mapreduce"));
+        assert!(o.dag_file.is_none());
+        let o = parse(&["open", "--dag-file", "trace.dag"]).unwrap();
+        assert_eq!(o.dag_file.as_deref(), Some("trace.dag"));
+        assert!(o.workflow.is_none());
+        let o = parse(&["open"]).unwrap();
+        assert!(o.workflow.is_none() && o.dag_file.is_none());
+        assert!(parse(&["open", "--workflow"]).is_err());
+        assert!(parse(&["open", "--dag-file"]).is_err());
+        // An unknown family name parses: the command resolves it
+        // against WorkflowKind and surfaces that error message.
+        assert_eq!(
+            parse(&["open", "--workflow", "mosaic"]).unwrap().workflow,
+            Some("mosaic".to_string())
         );
     }
 

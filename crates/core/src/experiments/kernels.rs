@@ -15,12 +15,13 @@ use abg_alloc::DynamicEquiPartition;
 use abg_control::{AControl, ConstantRequest};
 use abg_dag::{generate, LeveledJob, Phase, PhasedJob};
 use abg_sched::{
-    BGreedyExecutor, JobExecutor, LeveledExecutor, PipelinedExecutor, ReferenceBGreedyExecutor,
+    BGreedyExecutor, JobExecutor, LeveledExecutor, OwnedBGreedyExecutor, PipelinedExecutor,
+    ReferenceBGreedyExecutor,
 };
 use abg_sim::{live_job_footprint, CompletedJob, MultiJobSim, NullProbe, QuantumCore};
-use abg_workload::{JobSetSpec, ReleaseSchedule};
+use abg_workload::{JobSetSpec, ReleaseSchedule, WorkflowKind};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt as _, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 use std::sync::Arc;
@@ -57,6 +58,16 @@ pub struct KernelBenchConfig {
     pub leveled_width: u64,
     /// Levels of the barrier-leveled kernel.
     pub leveled_levels: u64,
+    /// Levels per chain of the `weighted_frontier` kernel's bundle
+    /// (width `bundle_width`, heterogeneous half-integer task weights):
+    /// the residual-work executor kernel priced on a sustained wide
+    /// frontier.
+    pub weighted_levels: u32,
+    /// Fan-out of the `workflow_open` kernel's Montage-like arrivals.
+    pub workflow_scale: u32,
+    /// Measured completions per repetition of the `workflow_open`
+    /// kernel.
+    pub workflow_jobs: u64,
     /// Layers of the random dag in the `dag_build` kernel.
     pub dag_levels: u32,
     /// Maximum layer width of the `dag_build` kernel's dag.
@@ -124,6 +135,9 @@ impl KernelBenchConfig {
             phased_len: 64,
             leveled_width: 16,
             leveled_levels: 50_000,
+            weighted_levels: 25_000,
+            workflow_scale: 32,
+            workflow_jobs: 1_000,
             dag_levels: 2_000,
             dag_width: 32,
             dag_edge_prob: 0.05,
@@ -163,6 +177,9 @@ impl KernelBenchConfig {
             phased_len: 16,
             leveled_width: 8,
             leveled_levels: 1_000,
+            weighted_levels: 500,
+            workflow_scale: 8,
+            workflow_jobs: 80,
             dag_levels: 100,
             dag_width: 8,
             dag_edge_prob: 0.05,
@@ -383,6 +400,31 @@ pub fn run_kernel_suite(cfg: &KernelBenchConfig) -> Vec<KernelResult> {
             leveled_ex.run_quantum(lw, 100);
         }
         (leveled_ex.completed_work(), leveled_ex.elapsed_steps())
+    }));
+
+    // Weighted wide frontier: the same bundle shape as
+    // `forkjoin_bundle`, every task carrying a heterogeneous
+    // half-integer weight, so each step advances residual costs and the
+    // completion sweep compacts in place — the weighted executor
+    // kernel's sustained regime. Built once, rewound per repetition;
+    // ops count processor-step units (Σ ceil(wᵢ)), not tasks.
+    let weighted = {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let base = generate::chain_bundle(cfg.bundle_width, cfg.weighted_levels);
+        let weights: Vec<f64> = (0..base.num_tasks())
+            .map(|_| rng.random_range(1..=7u64) as f64 * 0.5)
+            .collect();
+        base.with_weights(weights)
+            .expect("half-integer weights are finite and positive")
+    };
+    let wwidth = cfg.bundle_width;
+    let mut weighted_ex = BGreedyExecutor::new(&weighted);
+    results.push(measure("weighted_frontier", ms, || {
+        weighted_ex.reset();
+        while !weighted_ex.is_complete() {
+            weighted_ex.run_quantum(wwidth, 100);
+        }
+        (weighted_ex.completed_work(), weighted_ex.elapsed_steps())
     }));
 
     // Dag construction: builder ingest + CSR finalization + Kahn
@@ -647,6 +689,47 @@ pub fn run_kernel_suite(cfg: &KernelBenchConfig) -> Vec<KernelResult> {
     hier_res.bytes_per_live_job = boxed_footprint;
     results.push(hier_res);
 
+    // Composite: the open-system driver under weighted workflow
+    // arrivals — every arrival builds a fresh Montage-like dag (stage
+    // structure and half-integer weights from the run's RNG) and
+    // executes it through the weighted per-task kernel. Against
+    // `open_system` this prices what realistic heterogeneous jobs add:
+    // per-arrival dag construction and the residual-work stepping that
+    // the homogeneous phased population never touches. The fixed seed
+    // keeps arrivals and horizon iter-constant.
+    let wf_kind = WorkflowKind::Montage;
+    let wf_scale = cfg.workflow_scale;
+    let wf_t1 = {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        abg_workload::expected_work_of(256, &mut rng, |rng| {
+            wf_kind.generate(wf_scale, rng).work() as f64
+        })
+    };
+    let wf_cfg = abg_queue::OpenConfig {
+        arrivals: abg_workload::ArrivalProcess::Poisson {
+            mean_gap: abg_workload::mean_gap_for_utilization(cfg.open_rho, cfg.processors, wf_t1),
+        },
+        warmup_jobs: cfg.workflow_jobs / 4,
+        measured_jobs: cfg.workflow_jobs,
+        ..open_cfg.clone()
+    };
+    let mut wf_res = measure("workflow_open", ms, || {
+        let out = abg_queue::run_open_system(
+            &wf_cfg,
+            DynamicEquiPartition::new(cfg.processors),
+            // Heterogeneous dags: recycling is declined, every arrival
+            // pays its own build — deliberately part of the price.
+            |rng, _recycled| Box::new(OwnedBGreedyExecutor::new(wf_kind.generate(wf_scale, rng))),
+            || Box::new(AControl::new(0.2)),
+        );
+        let stats = out.steady().expect("kernel rho must be stable");
+        peak.set(stats.peak_jobs_in_system);
+        (stats.arrivals, stats.horizon)
+    });
+    wf_res.peak_jobs_in_system = peak.get();
+    wf_res.bytes_per_live_job = boxed_footprint;
+    results.push(wf_res);
+
     // Storage-layer kernels: the completion-heavy churn regime. Short
     // jobs on a dense arrival grid, the whole calendar admitted up
     // front — the core holds the full in-system population while only
@@ -755,6 +838,7 @@ mod tests {
                 "forkjoin_tree",
                 "phased_pipelined",
                 "leveled_barrier",
+                "weighted_frontier",
                 "dag_build",
                 "sweep_parallel",
                 "single_job_sweep",
@@ -763,6 +847,7 @@ mod tests {
                 "open_event",
                 "open_sharded",
                 "open_hier",
+                "workflow_open",
                 "open_churn",
                 "open_churn_large",
                 "unified_engine",

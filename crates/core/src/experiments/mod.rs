@@ -36,7 +36,7 @@ pub use hierarchical::{hierarchical_skew_sweep, HierarchicalConfig, Hierarchical
 pub use kernels::{kernel_speedup, run_kernel_suite, KernelBenchConfig, KernelResult};
 pub use multiprogrammed::{multiprogrammed_sweep, LoadPoint, MultiprogrammedConfig};
 pub use open_system::{
-    open_system_sweep, population_expected_work, OpenSystemConfig, OpenSystemRow,
+    open_system_sweep, population_expected_work, OpenSystemConfig, OpenSystemRow, OpenWorkload,
     SchedulerOpenPoint,
 };
 pub use overhead::{overhead_sweep, OverheadConfig, OverheadRow};

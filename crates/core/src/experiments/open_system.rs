@@ -14,21 +14,53 @@
 use super::{parallel_map, task_seed};
 use abg_alloc::DynamicEquiPartition;
 use abg_control::{AControl, AGreedy, GroupPolicy, RequestCalculator};
+use abg_dag::ExplicitDag;
 use abg_queue::{
     run_open_hierarchical, run_open_sharded, HierOpenConfig, OpenConfig, OpenOutcome,
     SaturationConfig, ShardRouting, ShardedOpenConfig,
 };
-use abg_sched::{JobExecutor, PipelinedExecutor};
-use abg_workload::{expected_work, mean_gap_for_utilization, mixed_factor_job, ArrivalProcess};
+use abg_sched::{DagExecutor, JobExecutor, OwnedBGreedyExecutor, PipelinedExecutor};
+use abg_workload::{
+    expected_work, expected_work_of, mean_gap_for_utilization, mixed_factor_job, ArrivalProcess,
+    WorkflowKind,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which controller drives every arriving job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Scheduler {
     Abg,
     AGreedy,
+}
+
+/// The job population an open-system sweep releases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpenWorkload {
+    /// The paper's mixed-factor fork-join population (unit tasks):
+    /// every arrival samples a fresh phase structure with parallel
+    /// width uniform in `[2, max_factor]`.
+    MixedFactor,
+    /// Weighted workflow arrivals: every arrival generates a fresh
+    /// instance of the given [`WorkflowKind`] at the given scale, with
+    /// stage weights sampled from the run's RNG stream. Executors are
+    /// never recycled — the dags are heterogeneous.
+    Workflow {
+        /// The workflow family to generate.
+        kind: WorkflowKind,
+        /// Fan-out of the family's widest stage.
+        scale: u32,
+    },
+    /// Trace replay: every arrival executes the *same* dag (typically
+    /// loaded from a dag file). The dag is shared by reference and
+    /// completed executors are recycled via `try_reset`, so a point
+    /// costs no per-arrival dag builds.
+    Trace(
+        /// The dag every arrival runs.
+        Arc<ExplicitDag>,
+    ),
 }
 
 /// Configuration of the open-system ρ sweep.
@@ -45,6 +77,11 @@ pub struct OpenSystemConfig {
     pub pairs: u64,
     /// Largest parallel width in the mixed-factor job population.
     pub max_factor: u64,
+    /// The job population arrivals are drawn from. The presets use
+    /// [`OpenWorkload::MixedFactor`], which reproduces the historical
+    /// sweep bit-for-bit; workflow and trace workloads route the same
+    /// engines over weighted dags.
+    pub workload: OpenWorkload,
     /// Arrivals discarded as warmup before measurement.
     pub warmup_jobs: u64,
     /// Arrivals measured per run.
@@ -103,6 +140,7 @@ impl OpenSystemConfig {
             quantum_len: 100,
             pairs: 3,
             max_factor: 32,
+            workload: OpenWorkload::MixedFactor,
             warmup_jobs: 500,
             measured_jobs: 2000,
             batches: 20,
@@ -130,6 +168,7 @@ impl OpenSystemConfig {
             quantum_len: 20,
             pairs: 2,
             max_factor: 8,
+            workload: OpenWorkload::MixedFactor,
             warmup_jobs: 40,
             measured_jobs: 160,
             batches: 8,
@@ -268,23 +307,85 @@ pub struct OpenSystemRow {
 }
 
 fn run_point(cfg: &OpenSystemConfig, mean_gap: f64, index: u64, which: Scheduler) -> OpenOutcome {
+    let (max_factor, quantum_len, pairs) = (cfg.max_factor, cfg.quantum_len, cfg.pairs);
+    match &cfg.workload {
+        // Jobs here are heterogeneous (each arrival samples a fresh
+        // phase structure), so recycled executors are dropped rather
+        // than reset — the sweep fingerprints stay pinned to the
+        // fresh-build behaviour.
+        OpenWorkload::MixedFactor => run_point_with(
+            cfg,
+            mean_gap,
+            index,
+            which,
+            move |rng: &mut StdRng,
+                  _recycled: Option<Box<dyn JobExecutor + Send>>|
+                  -> Box<dyn JobExecutor + Send> {
+                Box::new(PipelinedExecutor::new(mixed_factor_job(
+                    max_factor,
+                    quantum_len,
+                    pairs,
+                    rng,
+                )))
+            },
+        ),
+        // Workflow dags are heterogeneous too (fresh structure and
+        // weights per arrival), so recycling is likewise declined.
+        OpenWorkload::Workflow { kind, scale } => {
+            let (kind, scale) = (*kind, *scale);
+            run_point_with(
+                cfg,
+                mean_gap,
+                index,
+                which,
+                move |rng: &mut StdRng,
+                      _recycled: Option<Box<dyn JobExecutor + Send>>|
+                      -> Box<dyn JobExecutor + Send> {
+                    Box::new(OwnedBGreedyExecutor::new(kind.generate(scale, rng)))
+                },
+            )
+        }
+        // Trace replay: one shared dag, so a completed executor rewinds
+        // in place instead of rebuilding its frontier state.
+        OpenWorkload::Trace(dag) => {
+            let dag = Arc::clone(dag);
+            run_point_with(
+                cfg,
+                mean_gap,
+                index,
+                which,
+                move |_rng: &mut StdRng,
+                      recycled: Option<Box<dyn JobExecutor + Send>>|
+                      -> Box<dyn JobExecutor + Send> {
+                    if let Some(mut ex) = recycled {
+                        if ex.try_reset() {
+                            return ex;
+                        }
+                    }
+                    Box::new(DagExecutor::<_, abg_sched::BreadthFirstQueue>::new(
+                        Arc::clone(&dag),
+                    ))
+                },
+            )
+        }
+    }
+}
+
+/// Runs one (ρ, scheduler) point through whichever engine the config
+/// selects, with `make_executor` supplying an executor per arrival.
+fn run_point_with<E>(
+    cfg: &OpenSystemConfig,
+    mean_gap: f64,
+    index: u64,
+    which: Scheduler,
+    make_executor: E,
+) -> OpenOutcome
+where
+    E: Fn(&mut StdRng, Option<Box<dyn JobExecutor + Send>>) -> Box<dyn JobExecutor + Send> + Sync,
+{
     // Per-ρ seed shared by BOTH schedulers: identical rng, identical
     // arrival times, identical job structures — a paired comparison.
     let open = cfg.open_config(mean_gap, task_seed(cfg.seed, index, 1));
-    let (max_factor, quantum_len, pairs) = (cfg.max_factor, cfg.quantum_len, cfg.pairs);
-    // Jobs here are heterogeneous (each arrival samples a fresh phase
-    // structure), so recycled executors are dropped rather than reset —
-    // the sweep fingerprints stay pinned to the fresh-build behaviour.
-    let make_executor = move |rng: &mut StdRng,
-                              _recycled: Option<Box<dyn JobExecutor + Send>>|
-          -> Box<dyn JobExecutor + Send> {
-        Box::new(PipelinedExecutor::new(mixed_factor_job(
-            max_factor,
-            quantum_len,
-            pairs,
-            rng,
-        )))
-    };
     // The engine pools honor `ABG_THREADS` like the sweep's own
     // `parallel_map`; the outcome is thread-count invariant either way.
     // `groups > 1` routes through the hierarchical two-level driver
@@ -351,13 +452,22 @@ fn run_point(cfg: &OpenSystemConfig, mean_gap: f64, index: u64, which: Scheduler
     }
 }
 
-/// Estimates `E[T₁]` of the configured job population by Monte-Carlo
-/// sampling (deterministic in the config seed).
+/// Estimates `E[T₁]` of the configured job population — Monte-Carlo
+/// sampling for the generative workloads (deterministic in the config
+/// seed), exact for trace replay (every arrival is the same dag).
 pub fn population_expected_work(cfg: &OpenSystemConfig) -> f64 {
     let mut rng = StdRng::seed_from_u64(task_seed(cfg.seed, u64::MAX, 0));
-    expected_work(cfg.work_samples, &mut rng, |rng| {
-        mixed_factor_job(cfg.max_factor, cfg.quantum_len, cfg.pairs, rng)
-    })
+    match &cfg.workload {
+        OpenWorkload::MixedFactor => expected_work(cfg.work_samples, &mut rng, |rng| {
+            mixed_factor_job(cfg.max_factor, cfg.quantum_len, cfg.pairs, rng)
+        }),
+        OpenWorkload::Workflow { kind, scale } => {
+            expected_work_of(cfg.work_samples, &mut rng, |rng| {
+                kind.generate(*scale, rng).work() as f64
+            })
+        }
+        OpenWorkload::Trace(dag) => dag.work() as f64,
+    }
 }
 
 /// Runs the open-system sweep; one [`OpenSystemRow`] per configured ρ.
@@ -492,6 +602,96 @@ mod tests {
         let a = crate::experiments::open_fingerprint(&rows);
         let b = crate::experiments::open_fingerprint(&open_system_sweep(&cfg));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workflow_sweep_is_steady_and_deterministic() {
+        let mut cfg = OpenSystemConfig::smoke();
+        cfg.workload = OpenWorkload::Workflow {
+            kind: WorkflowKind::MapReduce,
+            scale: 4,
+        };
+        cfg.rhos = vec![0.4, 2.0];
+        let rows = open_system_sweep(&cfg);
+        assert!(rows[0].abg.stable && rows[0].agreedy.stable);
+        assert!(rows[0].abg.slowdown_p50 >= 1.0);
+        assert!(!rows[1].abg.stable && !rows[1].agreedy.stable);
+        let a = crate::experiments::open_fingerprint(&rows);
+        let b = crate::experiments::open_fingerprint(&open_system_sweep(&cfg));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_workflow_kind_drives_the_open_system() {
+        for kind in WorkflowKind::ALL {
+            let mut cfg = OpenSystemConfig::smoke();
+            cfg.workload = OpenWorkload::Workflow { kind, scale: 3 };
+            cfg.rhos = vec![0.4];
+            cfg.warmup_jobs = 10;
+            cfg.measured_jobs = 40;
+            cfg.batches = 4;
+            let rows = open_system_sweep(&cfg);
+            assert!(rows[0].abg.stable, "{kind} unstable under ABG");
+            assert!(rows[0].agreedy.stable, "{kind} unstable under A-Greedy");
+            assert!(rows[0].expected_work > 0.0);
+        }
+    }
+
+    #[test]
+    fn workflow_sweep_runs_the_hierarchical_driver_too() {
+        let mut cfg = OpenSystemConfig::smoke();
+        cfg.workload = OpenWorkload::Workflow {
+            kind: WorkflowKind::Epigenomics,
+            scale: 3,
+        };
+        cfg.groups = 4;
+        cfg.group_alloc = GroupPolicy::Desire;
+        cfg.realloc_epoch = 25;
+        cfg.rhos = vec![0.4];
+        cfg.warmup_jobs = 10;
+        cfg.measured_jobs = 40;
+        cfg.batches = 4;
+        let rows = open_system_sweep(&cfg);
+        assert!(rows[0].abg.stable && rows[0].agreedy.stable);
+        let a = crate::experiments::open_fingerprint(&rows);
+        let b = crate::experiments::open_fingerprint(&open_system_sweep(&cfg));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_workload_replays_one_dag_exactly() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let dag = WorkflowKind::Montage.generate(4, &mut rng);
+        let work = dag.work() as f64;
+        let mut cfg = OpenSystemConfig::smoke();
+        cfg.workload = OpenWorkload::Trace(Arc::new(dag));
+        cfg.rhos = vec![0.4];
+        cfg.warmup_jobs = 10;
+        cfg.measured_jobs = 60;
+        cfg.batches = 4;
+        assert_eq!(
+            population_expected_work(&cfg),
+            work,
+            "trace E[T1] is exact, not sampled"
+        );
+        let rows = open_system_sweep(&cfg);
+        assert!(rows[0].abg.stable && rows[0].agreedy.stable);
+        assert!(rows[0].abg.slowdown_p50 >= 1.0);
+        let a = crate::experiments::open_fingerprint(&rows);
+        let b = crate::experiments::open_fingerprint(&open_system_sweep(&cfg));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mixed_factor_presets_are_the_historical_workload() {
+        assert_eq!(
+            OpenSystemConfig::smoke().workload,
+            OpenWorkload::MixedFactor
+        );
+        assert_eq!(
+            OpenSystemConfig::paper().workload,
+            OpenWorkload::MixedFactor
+        );
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub enum DagError {
     /// Deserialized wire data is internally inconsistent (derived fields
     /// do not match the adjacency it carries).
     CorruptWire,
+    /// A task weight is not a finite positive number (NaN, infinite,
+    /// zero or negative weights would poison the span accounting).
+    InvalidWeight(TaskId),
 }
 
 impl std::fmt::Display for DagError {
@@ -61,6 +64,12 @@ impl std::fmt::Display for DagError {
                 )
             }
             DagError::CorruptWire => write!(f, "wire data has inconsistent derived fields"),
+            DagError::InvalidWeight(t) => {
+                write!(
+                    f,
+                    "invalid weight for task {t}: must be finite and positive"
+                )
+            }
         }
     }
 }
@@ -102,6 +111,142 @@ fn edge_key(from: TaskId, to: TaskId) -> u64 {
     (from.0 as u64) << 32 | to.0 as u64
 }
 
+/// Checks that `w` is a usable task weight (finite and strictly
+/// positive); anything else is rejected before it can reach the span
+/// accounting, where a NaN or an infinity would silently poison every
+/// downstream statistic.
+fn validate_weight(t: TaskId, w: f64) -> Result<(), DagError> {
+    if w.is_finite() && w > 0.0 {
+        Ok(())
+    } else {
+        Err(DagError::InvalidWeight(t))
+    }
+}
+
+/// Derived per-task and per-level cost tables of a weighted dag.
+///
+/// A task of weight `w` consumes `ceil(w)` whole processor-steps (the
+/// simulation advances in unit steps, so fractional weights round up to
+/// the next step; `cost ≥ 1` always). The profile precomputes everything
+/// the weighted executors touch on their hot path:
+///
+/// * `cost(t)` — integer processor-steps of task `t`;
+/// * `level_cost(l)` / `level_cost_recip(l)` — total cost of level `l`
+///   and its reciprocal, so a completed task charges its fractional
+///   share of the level without a division;
+/// * `level_max_cost(l)` — the heaviest task of level `l`, which is the
+///   level's contribution to the *weighted* critical path: a completed
+///   task at level `l` contributes `cost · recip · max` span, so a fully
+///   completed level contributes exactly `level_max_cost(l)` and the
+///   quantum average parallelism `A(q) = T1(q)/T∞(q)` still measures
+///   processor demand (a level of `n` tasks of uniform cost `c` reads as
+///   `A = n·c / c = n`);
+/// * `total_cost()` — the weighted work `T1 = Σ cost(t)`;
+/// * `span_cost()` — the weighted span `T∞ = Σ_l level_max_cost(l)`
+///   (the critical-path length of a level-by-level execution, and the
+///   value every executor's accumulated quantum spans sum to).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightProfile {
+    weights: Vec<f64>,
+    costs: Vec<u64>,
+    level_cost: Vec<u64>,
+    level_cost_recip: Vec<f64>,
+    level_max_cost: Vec<u64>,
+    total_cost: u64,
+    span_cost: u64,
+}
+
+impl WeightProfile {
+    /// Computes the profile for `weights` over tasks whose levels are
+    /// given by `level` (with `num_levels` levels total). Every weight
+    /// must be finite and strictly positive.
+    fn new(weights: Vec<f64>, level: &[Level], num_levels: usize) -> Result<Self, DagError> {
+        debug_assert_eq!(weights.len(), level.len());
+        let mut costs = Vec::with_capacity(weights.len());
+        for (i, &w) in weights.iter().enumerate() {
+            validate_weight(TaskId(i as u32), w)?;
+            costs.push(w.ceil() as u64);
+        }
+        let mut level_cost = vec![0u64; num_levels];
+        let mut level_max_cost = vec![0u64; num_levels];
+        for (i, &c) in costs.iter().enumerate() {
+            let l = level[i] as usize;
+            level_cost[l] += c;
+            level_max_cost[l] = level_max_cost[l].max(c);
+        }
+        let level_cost_recip = level_cost.iter().map(|&s| 1.0 / s as f64).collect();
+        let total_cost = costs.iter().sum();
+        let span_cost = level_max_cost.iter().sum();
+        Ok(WeightProfile {
+            weights,
+            costs,
+            level_cost,
+            level_cost_recip,
+            level_max_cost,
+            total_cost,
+            span_cost,
+        })
+    }
+
+    /// The raw (possibly fractional) weight of each task, in id order.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Integer processor-steps task `t` consumes (`ceil(weight) ≥ 1`).
+    #[inline]
+    pub fn cost(&self, t: TaskId) -> u64 {
+        self.costs[t.index()]
+    }
+
+    /// The per-task cost table, in id order.
+    #[inline]
+    pub fn costs(&self) -> &[u64] {
+        &self.costs
+    }
+
+    /// Total cost of all tasks at level `l`.
+    #[inline]
+    pub fn level_cost(&self, l: usize) -> u64 {
+        self.level_cost[l]
+    }
+
+    /// `1.0 / level_cost(l)`, precomputed for the span hot path.
+    #[inline]
+    pub fn level_cost_recip(&self, l: usize) -> f64 {
+        self.level_cost_recip[l]
+    }
+
+    /// Cost of the heaviest task at level `l` — the level's contribution
+    /// to the weighted span.
+    #[inline]
+    pub fn level_max_cost(&self, l: usize) -> u64 {
+        self.level_max_cost[l]
+    }
+
+    /// The weighted work `T1 = Σ cost(t)`.
+    #[inline]
+    pub fn total_cost(&self) -> u64 {
+        self.total_cost
+    }
+
+    /// The weighted span `T∞ = Σ_l level_max_cost(l)`.
+    #[inline]
+    pub fn span_cost(&self) -> u64 {
+        self.span_cost
+    }
+
+    /// Fractional span a completed task at level `l` with cost `c`
+    /// contributes. The multiplication order (`cost`, then reciprocal,
+    /// then max) is part of the bit-identity contract between the
+    /// optimised and reference weighted kernels.
+    #[inline]
+    pub fn span_contribution(&self, c: u64, l: usize) -> f64 {
+        c as f64 * self.level_cost_recip[l] * self.level_max_cost[l] as f64
+    }
+}
+
 /// Incremental builder for an [`ExplicitDag`].
 ///
 /// Edges are kept as a flat insertion-ordered list plus a hash set of
@@ -128,6 +273,9 @@ pub struct DagBuilder {
     seen: EdgeSet,
     in_degree: Vec<u32>,
     out_degree: Vec<u32>,
+    /// Per-task weights, materialised lazily on the first
+    /// [`DagBuilder::set_weight`] call (`None` ⇒ every task is unit).
+    weights: Option<Vec<f64>>,
 }
 
 impl DagBuilder {
@@ -143,6 +291,7 @@ impl DagBuilder {
             seen: EdgeSet::with_capacity_and_hasher(n, BuildHasherDefault::default()),
             in_degree: Vec::with_capacity(n),
             out_degree: Vec::with_capacity(n),
+            weights: None,
         }
     }
 
@@ -151,7 +300,32 @@ impl DagBuilder {
         let id = TaskId(u32::try_from(self.in_degree.len()).expect("more than u32::MAX tasks"));
         self.in_degree.push(0);
         self.out_degree.push(0);
+        if let Some(w) = &mut self.weights {
+            w.push(1.0);
+        }
         id
+    }
+
+    /// Adds a task of weight `w` and returns its id. Equivalent to
+    /// [`DagBuilder::add_task`] followed by
+    /// [`DagBuilder::set_weight`].
+    pub fn add_weighted_task(&mut self, w: f64) -> Result<TaskId, DagError> {
+        let id = self.add_task();
+        self.set_weight(id, w)?;
+        Ok(id)
+    }
+
+    /// Sets the weight of task `t` (the default is `1.0`). The weight
+    /// must be finite and strictly positive; a task of weight `w`
+    /// consumes `ceil(w)` processor-steps when executed.
+    pub fn set_weight(&mut self, t: TaskId, w: f64) -> Result<(), DagError> {
+        if t.index() >= self.in_degree.len() {
+            return Err(DagError::UnknownTask(t));
+        }
+        validate_weight(t, w)?;
+        self.weights
+            .get_or_insert_with(|| vec![1.0; self.in_degree.len()])[t.index()] = w;
+        Ok(())
     }
 
     /// Adds `n` tasks, returning the id of the first; the block is
@@ -286,6 +460,17 @@ impl DagBuilder {
             .edges
             .iter()
             .all(|&(from, to)| level[to.index()] == level[from.index()] + 1);
+        // A weight table of all-exactly-1.0 entries is kept (so the wire
+        // round-trip is lossless) but flagged unit, which keeps every
+        // executor on the unit-task fast paths.
+        let unit_weight = match &self.weights {
+            None => true,
+            Some(w) => w.iter().all(|&x| x == 1.0),
+        };
+        let weights = match self.weights {
+            None => None,
+            Some(w) => Some(Box::new(WeightProfile::new(w, &level, span as usize)?)),
+        };
         Ok(ExplicitDag {
             succ_off,
             succ_flat,
@@ -296,6 +481,8 @@ impl DagBuilder {
             sources,
             forest,
             unit_edges,
+            unit_weight,
+            weights,
         })
     }
 }
@@ -335,19 +522,107 @@ pub struct ExplicitDag {
     /// Whether every edge drops exactly one level. Cached for
     /// [`ExplicitDag::has_unit_edges`].
     unit_edges: bool,
+    /// Whether every task costs exactly one processor-step (no weight
+    /// table, or a table of all-1.0 entries). Cached for
+    /// [`ExplicitDag::is_unit_weight`] — the gate of the unit-task
+    /// executor fast paths.
+    unit_weight: bool,
+    /// Derived cost tables when a weight table is present; boxed so the
+    /// (overwhelmingly common) unit dag pays one pointer of overhead.
+    weights: Option<Box<WeightProfile>>,
 }
 
 impl ExplicitDag {
-    /// Total number of tasks, i.e. the work `T1` of the job.
+    /// The work `T1` of the job in processor-steps: the number of tasks
+    /// for a unit dag, or the total task cost `Σ ceil(weight)` when a
+    /// weight table is present.
     #[inline]
     pub fn work(&self) -> u64 {
-        self.in_degree.len() as u64
+        match &self.weights {
+            Some(wp) => wp.total_cost(),
+            None => self.in_degree.len() as u64,
+        }
     }
 
-    /// Critical-path length `T∞`: number of tasks on the longest chain.
+    /// Critical-path length `T∞` in *levels*: number of tasks on the
+    /// longest chain. Unit executors size their per-level state with
+    /// this; the weighted analogue in processor-steps is
+    /// [`ExplicitDag::weighted_span`].
     #[inline]
     pub fn span(&self) -> u64 {
         self.level_sizes.len() as u64
+    }
+
+    /// Critical-path length `T∞` in processor-steps: `Σ_l max-cost(l)`
+    /// over the levels (the span of a level-by-level execution). Equals
+    /// [`ExplicitDag::span`] for unit dags.
+    #[inline]
+    pub fn weighted_span(&self) -> u64 {
+        match &self.weights {
+            Some(wp) => wp.span_cost(),
+            None => self.span(),
+        }
+    }
+
+    /// Whether every task costs exactly one processor-step — `true` for
+    /// dags without a weight table *and* for tables that are all-1.0.
+    /// Executors gate the unit-task fast paths (serial chain walk, bulk
+    /// level stepping) on this flag; weighted dags take the
+    /// residual-work path instead.
+    #[inline]
+    pub fn is_unit_weight(&self) -> bool {
+        self.unit_weight
+    }
+
+    /// The derived cost tables, when a weight table is present.
+    #[inline]
+    pub fn weight_profile(&self) -> Option<&WeightProfile> {
+        self.weights.as_deref()
+    }
+
+    /// The raw weight of task `t` (`1.0` without a weight table).
+    #[inline]
+    pub fn weight(&self, t: TaskId) -> f64 {
+        match &self.weights {
+            Some(wp) => wp.weights()[t.index()],
+            None => 1.0,
+        }
+    }
+
+    /// Processor-steps task `t` consumes (`ceil(weight)`, `1` without a
+    /// weight table).
+    #[inline]
+    pub fn task_cost(&self, t: TaskId) -> u64 {
+        match &self.weights {
+            Some(wp) => wp.cost(t),
+            None => 1,
+        }
+    }
+
+    /// Returns this dag with the given per-task weight table attached
+    /// (replacing any existing one). The structure is untouched; only
+    /// the cost tables and the unit-weight flag are recomputed. Rejects
+    /// tables of the wrong length ([`DagError::CorruptWire`]) or with
+    /// non-finite / non-positive entries ([`DagError::InvalidWeight`]).
+    pub fn with_weights(mut self, weights: Vec<f64>) -> Result<Self, DagError> {
+        if weights.len() != self.num_tasks() {
+            return Err(DagError::CorruptWire);
+        }
+        self.unit_weight = weights.iter().all(|&x| x == 1.0);
+        self.weights = Some(Box::new(WeightProfile::new(
+            weights,
+            &self.level,
+            self.level_sizes.len(),
+        )?));
+        Ok(self)
+    }
+
+    /// Returns this dag with every task weighted `w` — the uniform-cost
+    /// generalisation used when lowering profile-based jobs
+    /// (`PhasedJob`, `LeveledJob`) to a weighted explicit dag.
+    pub fn with_uniform_weight(self, w: f64) -> Result<Self, DagError> {
+        let n = self.num_tasks();
+        self.with_weights(vec![w; n])
     }
 
     /// Number of tasks (as a `usize`, for indexing).
@@ -469,9 +744,10 @@ impl ExplicitDag {
         self.succ_flat.len()
     }
 
-    /// Average parallelism `T1 / T∞`.
+    /// Average parallelism `T1 / T∞` (in processor-steps, so weighted
+    /// dags use the weighted work and span).
     pub fn average_parallelism(&self) -> f64 {
-        self.work() as f64 / self.span() as f64
+        self.work() as f64 / self.weighted_span() as f64
     }
 
     /// The successor adjacency as nested lists (the pre-CSR layout);
@@ -540,12 +816,16 @@ pub struct DagWire {
     pub level_sizes: Vec<u64>,
     /// Reciprocal level sizes.
     pub level_recip: Vec<f64>,
+    /// Per-task weights, when the dag carries a weight table (`None`
+    /// for unit dags, which keeps pre-weight wire data decodable).
+    pub weights: Option<Vec<f64>>,
 }
 
 impl From<ExplicitDag> for DagWire {
     fn from(dag: ExplicitDag) -> Self {
         DagWire {
             succs: dag.to_adjacency(),
+            weights: dag.weights.map(|wp| wp.weights),
             in_degree: dag.in_degree,
             level: dag.level,
             level_sizes: dag.level_sizes,
@@ -569,7 +849,13 @@ impl TryFrom<DagWire> for ExplicitDag {
         {
             return Err(DagError::CorruptWire);
         }
-        Ok(dag)
+        // A weight table is re-validated entry by entry: non-finite or
+        // non-positive weights are typed errors here, *before* they can
+        // reach the span accounting.
+        match wire.weights {
+            None => Ok(dag),
+            Some(w) => dag.with_weights(w),
+        }
     }
 }
 
@@ -807,6 +1093,121 @@ mod tests {
         let d = chain(4);
         let mut wire: DagWire = d.into();
         wire.level[2] = 7;
+        assert_eq!(ExplicitDag::try_from(wire), Err(DagError::CorruptWire));
+    }
+
+    #[test]
+    fn weighted_chain_costs_and_spans() {
+        let mut b = DagBuilder::new();
+        let t0 = b.add_weighted_task(2.0).unwrap();
+        let t1 = b.add_weighted_task(3.5).unwrap();
+        let t2 = b.add_task(); // defaults to 1.0
+        b.add_edge(t0, t1).unwrap();
+        b.add_edge(t1, t2).unwrap();
+        let d = b.build().unwrap();
+        assert!(!d.is_unit_weight());
+        assert_eq!(d.task_cost(t0), 2, "integral weight is its own cost");
+        assert_eq!(d.task_cost(t1), 4, "fractional weight rounds up");
+        assert_eq!(d.task_cost(t2), 1);
+        assert_eq!(d.weight(t1), 3.5, "raw weights are preserved");
+        assert_eq!(d.work(), 7, "work is the total cost");
+        assert_eq!(d.span(), 3, "level count is unchanged");
+        assert_eq!(d.weighted_span(), 7, "a chain's weighted span is its work");
+        assert_eq!(d.average_parallelism(), 1.0);
+    }
+
+    #[test]
+    fn weighted_level_tables() {
+        // a -> {x, y} -> z with costs 1, 2, 4, 1.
+        let mut b = DagBuilder::new();
+        let a = b.add_task();
+        let x = b.add_weighted_task(2.0).unwrap();
+        let y = b.add_weighted_task(4.0).unwrap();
+        let z = b.add_task();
+        b.add_edge(a, x).unwrap();
+        b.add_edge(a, y).unwrap();
+        b.add_edge(x, z).unwrap();
+        b.add_edge(y, z).unwrap();
+        let d = b.build().unwrap();
+        let wp = d.weight_profile().unwrap();
+        assert_eq!(wp.level_cost(1), 6);
+        assert_eq!(wp.level_max_cost(1), 4);
+        assert_eq!(wp.level_cost_recip(1), 1.0 / 6.0);
+        assert_eq!(wp.total_cost(), 8);
+        assert_eq!(d.weighted_span(), 1 + 4 + 1);
+        // A completed level contributes its max cost to the span:
+        // cost/level_cost · max summed over the level.
+        let level1: f64 = wp.span_contribution(2, 1) + wp.span_contribution(4, 1);
+        assert!((level1 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_unit_weight_table_keeps_the_unit_flag() {
+        let d = chain(5);
+        let w = d.clone().with_weights(vec![1.0; 5]).unwrap();
+        assert!(w.is_unit_weight(), "an all-1.0 table is structurally unit");
+        assert!(w.weight_profile().is_some(), "but the table is kept");
+        assert_eq!(w.work(), d.work());
+        assert_eq!(w.weighted_span(), d.span());
+    }
+
+    #[test]
+    fn invalid_weights_rejected_with_the_typed_message() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, 0.0] {
+            let mut b = DagBuilder::new();
+            let t0 = b.add_task();
+            let t1 = b.add_task();
+            b.add_edge(t0, t1).unwrap();
+            let err = b.set_weight(t1, bad).unwrap_err();
+            assert_eq!(err, DagError::InvalidWeight(t1), "weight {bad}");
+            assert_eq!(
+                err.to_string(),
+                "invalid weight for task t1: must be finite and positive"
+            );
+        }
+        let mut b = DagBuilder::new();
+        b.add_task();
+        assert_eq!(
+            b.set_weight(TaskId(9), 1.0).unwrap_err(),
+            DagError::UnknownTask(TaskId(9))
+        );
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_weights() {
+        let mut b = DagBuilder::new();
+        let t0 = b.add_weighted_task(2.5).unwrap();
+        let t1 = b.add_weighted_task(1.0).unwrap();
+        b.add_edge(t0, t1).unwrap();
+        let d = b.build().unwrap();
+        let wire: DagWire = d.clone().into();
+        assert_eq!(wire.weights.as_deref(), Some(&[2.5, 1.0][..]));
+        let back = ExplicitDag::try_from(wire).unwrap();
+        assert_eq!(d, back);
+        assert_eq!(back.task_cost(t0), 3);
+    }
+
+    #[test]
+    fn wire_decode_rejects_invalid_weights_with_the_typed_error() {
+        let d = chain(3);
+        let mut wire: DagWire = d.clone().into();
+        wire.weights = Some(vec![1.0, f64::NAN, 1.0]);
+        let err = ExplicitDag::try_from(wire).unwrap_err();
+        assert_eq!(err, DagError::InvalidWeight(TaskId(1)));
+        assert_eq!(
+            err.to_string(),
+            "invalid weight for task t1: must be finite and positive"
+        );
+        let mut wire: DagWire = d.clone().into();
+        wire.weights = Some(vec![1.0, -3.0, 1.0]);
+        assert_eq!(
+            ExplicitDag::try_from(wire),
+            Err(DagError::InvalidWeight(TaskId(1)))
+        );
+        // A table of the wrong length is corrupt wire data, not a
+        // weight error.
+        let mut wire: DagWire = d.into();
+        wire.weights = Some(vec![1.0, 2.0]);
         assert_eq!(ExplicitDag::try_from(wire), Err(DagError::CorruptWire));
     }
 

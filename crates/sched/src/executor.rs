@@ -10,25 +10,41 @@ use std::borrow::Borrow;
 /// `a(q)` ready tasks per step from a [`ReadyQueue`] `Q` that encodes the
 /// scheduling priority.
 ///
-/// Tasks are unit-size: a task popped in step `t` completes at the end of
-/// step `t`, and its successors become ready no earlier than step `t+1`
+/// On unit dags a task popped in step `t` completes at the end of step
+/// `t`, and its successors become ready no earlier than step `t+1`
 /// (newly enabled tasks are inserted after the step's batch is chosen).
+///
+/// On *weighted* dags ([`ExplicitDag::is_unit_weight`] false) a task
+/// occupies one processor for `task_cost` consecutive steps. Execution
+/// is non-preemptive within a quantum — a started task keeps its slot
+/// until it completes — but partially executed tasks carry their
+/// residual work across quantum boundaries, and when the allotment
+/// shrinks the excess in-progress tasks pause in place (their residual
+/// is preserved, FIFO order kept) until a slot frees up.
 ///
 /// The dag handle `D` can be a borrow (`&ExplicitDag`) for zero-copy use,
 /// or an owning handle (`ExplicitDag`, `Arc<ExplicitDag>`) when the
 /// executor must be `'static`, e.g. inside the multi-job simulator's
 /// boxed job table.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DagExecutor<D: Borrow<ExplicitDag>, Q: ReadyQueue> {
     dag: D,
     remaining_preds: Vec<u32>,
     ready: Q,
     /// Tasks completed per level since job start (for fractional T∞(q)).
     completed_per_level: Vec<u64>,
+    /// Tasks fully completed since job start.
     completed: u64,
+    /// Processor-step units executed since job start (== `completed` on
+    /// unit dags; counts partial progress on weighted ones).
+    worked: u64,
     elapsed: u64,
     /// Scratch buffer of tasks selected in the current step.
     batch: Vec<TaskId>,
+    /// Weighted dags only: started-but-unfinished tasks with their
+    /// residual cost, in start order (the front `min(a, len)` entries
+    /// hold processors each step; the tail is paused).
+    in_progress: Vec<(TaskId, u64)>,
 }
 
 /// B-Greedy: greedy with breadth-first (lowest level first) priority.
@@ -59,8 +75,10 @@ impl<D: Borrow<ExplicitDag>, Q: ReadyQueue> DagExecutor<D, Q> {
             ready,
             completed_per_level,
             completed: 0,
+            worked: 0,
             elapsed: 0,
             batch: Vec::new(),
+            in_progress: Vec::new(),
         }
     }
 
@@ -76,8 +94,10 @@ impl<D: Borrow<ExplicitDag>, Q: ReadyQueue> DagExecutor<D, Q> {
         self.remaining_preds.copy_from_slice(dag.in_degrees());
         self.completed_per_level.fill(0);
         self.completed = 0;
+        self.worked = 0;
         self.elapsed = 0;
         self.batch.clear();
+        self.in_progress.clear();
         self.ready.clear();
         for &t in dag.source_tasks() {
             self.ready.push(t, dag.level(t));
@@ -98,6 +118,106 @@ impl<D: Borrow<ExplicitDag>, Q: ReadyQueue> DagExecutor<D, Q> {
     /// Tasks completed at each level since the job started.
     pub fn completed_per_level(&self) -> &[u64] {
         &self.completed_per_level
+    }
+
+    /// Started-but-unfinished tasks with their residual cost (weighted
+    /// dags only; always empty on unit dags).
+    pub fn in_progress(&self) -> &[(TaskId, u64)] {
+        &self.in_progress
+    }
+
+    /// The residual-work quantum kernel for weighted dags.
+    ///
+    /// Each step first keeps every processor already bound to an
+    /// in-progress task (the front `min(a, len)` entries of
+    /// `in_progress`), then fills free slots by popping the ready queue —
+    /// a started task gets `task_cost` residual units and completes when
+    /// they reach zero. Completions are swept in slot order; a completed
+    /// task at level `l` with cost `c` charges `c · (1/level_cost(l)) ·
+    /// level_max_cost(l)` fractional span (so a fully completed level
+    /// contributes its max cost, the level's weighted critical-path
+    /// share), and releases its successors after the sweep position —
+    /// never runnable in the same step. The arithmetic (operand order
+    /// included) is bit-identical to the weighted
+    /// [`ReferenceExecutor`](crate::reference::ReferenceExecutor) path,
+    /// which the `executor_equivalence` proptest suite enforces.
+    fn run_quantum_weighted(&mut self, allotment: u32, steps: u64) -> QuantumStats {
+        let mut work = 0u64;
+        let mut steps_worked = 0u64;
+        let mut span = 0.0f64;
+        let finished;
+        {
+            let Self {
+                dag,
+                remaining_preds,
+                ready,
+                completed_per_level,
+                completed,
+                worked,
+                elapsed,
+                batch: _,
+                in_progress,
+            } = self;
+            let dag: &ExplicitDag = (*dag).borrow();
+            let wp = dag
+                .weight_profile()
+                .expect("weighted quantum requires a weight table");
+            let total = dag.num_tasks() as u64;
+            let a = allotment as usize;
+            let mut remaining = steps;
+            while remaining > 0 && *completed < total {
+                // Fill free processor slots with newly started tasks.
+                while in_progress.len() < a {
+                    match ready.pop() {
+                        Some(t) => in_progress.push((t, wp.cost(t))),
+                        None => break,
+                    }
+                }
+                let run = in_progress.len().min(a);
+                debug_assert!(run > 0, "a live job always has a ready or running task");
+                for slot in in_progress[..run].iter_mut() {
+                    slot.1 -= 1;
+                }
+                work += run as u64;
+                *worked += run as u64;
+                // Sweep completions in slot order, compacting the
+                // survivors in place (their relative order is the
+                // pause/resume fairness order).
+                let mut kept = 0usize;
+                for i in 0..in_progress.len() {
+                    let (t, rem) = in_progress[i];
+                    if rem == 0 {
+                        let l = dag.level(t) as usize;
+                        completed_per_level[l] += 1;
+                        span += wp.span_contribution(wp.cost(t), l);
+                        *completed += 1;
+                        for &s in dag.successors(t) {
+                            let r = &mut remaining_preds[s.index()];
+                            *r -= 1;
+                            if *r == 0 {
+                                ready.push(s, dag.level(s));
+                            }
+                        }
+                    } else {
+                        in_progress[kept] = (t, rem);
+                        kept += 1;
+                    }
+                }
+                in_progress.truncate(kept);
+                steps_worked += 1;
+                *elapsed += 1;
+                remaining -= 1;
+            }
+            finished = *completed == total;
+        }
+        QuantumStats {
+            allotment,
+            quantum_len: steps,
+            steps_worked,
+            work,
+            span,
+            completed: finished,
+        }
     }
 }
 
@@ -135,6 +255,13 @@ impl<D: Borrow<ExplicitDag>, Q: ReadyQueue> JobExecutor for DagExecutor<D, Q> {
     /// equivalence is enforced by the `executor_equivalence` proptest
     /// suite.
     fn run_quantum(&mut self, allotment: u32, steps: u64) -> QuantumStats {
+        if allotment > 0 && !self.dag.borrow().is_unit_weight() && !self.is_complete() {
+            // Weighted dags route to the residual-work kernel; the gate
+            // keeps every unit-dag run on the bit-pinned fast paths
+            // below (an all-1.0 weight table is flagged unit and stays
+            // here too).
+            return self.run_quantum_weighted(allotment, steps);
+        }
         let mut work = 0u64;
         let mut steps_worked = 0u64;
         let mut span = 0.0f64;
@@ -149,6 +276,7 @@ impl<D: Borrow<ExplicitDag>, Q: ReadyQueue> JobExecutor for DagExecutor<D, Q> {
                 completed,
                 elapsed,
                 batch,
+                ..
             } = self;
             let dag: &ExplicitDag = (*dag).borrow();
             let recips = dag.level_recips();
@@ -354,7 +482,7 @@ impl<D: Borrow<ExplicitDag>, Q: ReadyQueue> JobExecutor for DagExecutor<D, Q> {
     }
 
     fn is_complete(&self) -> bool {
-        self.completed == self.dag.borrow().work()
+        self.completed == self.dag.borrow().num_tasks() as u64
     }
 
     fn total_work(&self) -> u64 {
@@ -362,11 +490,15 @@ impl<D: Borrow<ExplicitDag>, Q: ReadyQueue> JobExecutor for DagExecutor<D, Q> {
     }
 
     fn total_span(&self) -> u64 {
-        self.dag.borrow().span()
+        self.dag.borrow().weighted_span()
     }
 
     fn completed_work(&self) -> u64 {
-        self.completed
+        if self.dag.borrow().is_unit_weight() {
+            self.completed
+        } else {
+            self.worked
+        }
     }
 
     fn elapsed_steps(&self) -> u64 {
@@ -536,6 +668,110 @@ mod tests {
             assert_eq!(f.span.to_bits(), s.span.to_bits());
         }
         assert!(slow.is_complete());
+    }
+
+    fn weighted_chain() -> abg_dag::ExplicitDag {
+        // t0(2) -> t1(3) -> t2(1): work 6, weighted span 6.
+        let mut b = DagBuilder::new();
+        let t0 = b.add_weighted_task(2.0).unwrap();
+        let t1 = b.add_weighted_task(3.0).unwrap();
+        let t2 = b.add_task();
+        b.add_edge(t0, t1).unwrap();
+        b.add_edge(t1, t2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn weighted_tasks_consume_cost_steps() {
+        let d = weighted_chain();
+        let mut ex = DagExecutor::<_, BreadthFirstQueue>::new(&d);
+        let s = ex.run_quantum(4, 100);
+        assert_eq!(s.steps_worked, 6, "costs serialise on a chain");
+        assert_eq!(s.work, 6, "work counts processor-step units");
+        assert!(s.completed);
+        assert_eq!(ex.total_work(), 6);
+        assert_eq!(ex.total_span(), 6);
+        assert!((s.span - 6.0).abs() < 1e-12, "span = {}", s.span);
+    }
+
+    #[test]
+    fn weighted_residual_carries_across_quanta() {
+        let d = weighted_chain();
+        let mut ex = DagExecutor::<_, BreadthFirstQueue>::new(&d);
+        // One step into t0 (cost 2): partial progress, nothing completed.
+        let s = ex.run_quantum(1, 1);
+        assert_eq!(s.work, 1);
+        assert_eq!(ex.completed_work(), 1, "units, not tasks");
+        assert_eq!(ex.in_progress(), &[(TaskId(0), 1)]);
+        // The residual unit finishes the task in the next quantum.
+        let s = ex.run_quantum(1, 1);
+        assert_eq!(s.work, 1);
+        assert_eq!(ex.in_progress(), &[], "t0 completed");
+        assert_eq!(ex.ready_tasks(), 1, "t1 released");
+        while !ex.is_complete() {
+            ex.run_quantum(1, 1);
+        }
+        assert_eq!(ex.elapsed_steps(), 6);
+        assert_eq!(ex.completed_work(), 6);
+    }
+
+    #[test]
+    fn weighted_allotment_shrink_pauses_in_progress_tasks() {
+        // Two independent cost-4 tasks; start both, then shrink to 1.
+        let mut b = DagBuilder::new();
+        b.add_weighted_task(4.0).unwrap();
+        b.add_weighted_task(4.0).unwrap();
+        let d = b.build().unwrap();
+        let mut ex = DagExecutor::<_, BreadthFirstQueue>::new(&d);
+        ex.run_quantum(2, 1);
+        assert_eq!(ex.in_progress(), &[(TaskId(0), 3), (TaskId(1), 3)]);
+        // One processor: the front slot runs, the second pauses intact.
+        let s = ex.run_quantum(1, 3);
+        assert_eq!(s.work, 3);
+        assert_eq!(ex.in_progress(), &[(TaskId(1), 3)], "t1 residual preserved");
+        let s = ex.run_quantum(1, 3);
+        assert!(s.completed);
+        assert_eq!(ex.elapsed_steps(), 7);
+    }
+
+    #[test]
+    fn weighted_spans_accumulate_to_weighted_span() {
+        // a(1) -> {x(2), y(5)} -> z(3): weighted span 1 + 5 + 3 = 9.
+        let mut b = DagBuilder::new();
+        let a = b.add_task();
+        let x = b.add_weighted_task(2.0).unwrap();
+        let y = b.add_weighted_task(5.0).unwrap();
+        let z = b.add_weighted_task(3.0).unwrap();
+        b.add_edge(a, x).unwrap();
+        b.add_edge(a, y).unwrap();
+        b.add_edge(x, z).unwrap();
+        b.add_edge(y, z).unwrap();
+        let d = b.build().unwrap();
+        let mut ex = DagExecutor::<_, BreadthFirstQueue>::new(&d);
+        let mut span = 0.0;
+        while !ex.is_complete() {
+            span += ex.run_quantum(2, 3).span;
+        }
+        assert_eq!(ex.total_span(), 9);
+        assert!((span - 9.0).abs() < 1e-9, "span = {span}");
+        assert_eq!(ex.completed_work(), d.work());
+    }
+
+    #[test]
+    fn weighted_reset_replays_bit_identically() {
+        let d = weighted_chain();
+        let mut ex = DagExecutor::<_, BreadthFirstQueue>::new(&d);
+        let run = |ex: &mut DagExecutor<&abg_dag::ExplicitDag, BreadthFirstQueue>| {
+            let mut out = Vec::new();
+            while !ex.is_complete() {
+                let s = ex.run_quantum(2, 3);
+                out.push((s.work, s.steps_worked, s.span.to_bits()));
+            }
+            out
+        };
+        let first = run(&mut ex);
+        assert!(ex.try_reset());
+        assert_eq!(first, run(&mut ex), "weighted reset run diverged");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! which is what lets the paper-scale sweeps (thousands of jobs with
 //! millions of tasks) run in seconds.
 
+use crate::executor::OwnedBGreedyExecutor;
 use crate::quantum::QuantumStats;
 use crate::JobExecutor;
 use abg_dag::LeveledJob;
@@ -27,6 +28,12 @@ pub struct LeveledExecutor<J: Borrow<LeveledJob> = LeveledJob> {
     done_in_level: u64,
     completed: u64,
     elapsed: u64,
+    /// Uniform per-task cost in processor-steps (1 = the unit model).
+    task_cost: u64,
+    /// Costs above 1 route through the weighted per-task kernel over the
+    /// lowered explicit dag (see
+    /// [`PipelinedExecutor::with_task_cost`](crate::PipelinedExecutor::with_task_cost)).
+    weighted: Option<Box<OwnedBGreedyExecutor>>,
 }
 
 impl<J: Borrow<LeveledJob>> LeveledExecutor<J> {
@@ -38,7 +45,40 @@ impl<J: Borrow<LeveledJob>> LeveledExecutor<J> {
             done_in_level: 0,
             completed: 0,
             elapsed: 0,
+            task_cost: 1,
+            weighted: None,
         }
+    }
+
+    /// Creates an executor whose every task costs `cost` processor-steps.
+    /// `LeveledJob` has no per-task identity, so the weighted
+    /// generalisation is uniform; costs above 1 execute the lowered
+    /// explicit dag through the weighted B-Greedy kernel, which is exact
+    /// on the residual-work semantics.
+    pub fn with_task_cost(job: J, cost: u64) -> Self {
+        let cost = cost.max(1);
+        let weighted = (cost > 1).then(|| {
+            let dag = job
+                .borrow()
+                .to_explicit()
+                .with_uniform_weight(cost as f64)
+                .expect("a positive integer cost is a valid weight");
+            Box::new(OwnedBGreedyExecutor::new(dag))
+        });
+        Self {
+            job,
+            level: 0,
+            done_in_level: 0,
+            completed: 0,
+            elapsed: 0,
+            task_cost: cost,
+            weighted,
+        }
+    }
+
+    /// Uniform processor-steps per task (1 for the unit model).
+    pub fn task_cost(&self) -> u64 {
+        self.task_cost
     }
 
     /// The job being executed.
@@ -56,17 +96,24 @@ impl<J: Borrow<LeveledJob>> LeveledExecutor<J> {
         self.done_in_level
     }
 
-    /// Rewinds to the start of the job (four counters, allocation-free).
+    /// Rewinds to the start of the job (four counters, allocation-free;
+    /// a weighted inner executor resets in place keeping its buffers).
     pub fn reset(&mut self) {
         self.level = 0;
         self.done_in_level = 0;
         self.completed = 0;
         self.elapsed = 0;
+        if let Some(inner) = &mut self.weighted {
+            inner.reset();
+        }
     }
 }
 
 impl<J: Borrow<LeveledJob>> JobExecutor for LeveledExecutor<J> {
     fn run_quantum(&mut self, allotment: u32, steps: u64) -> QuantumStats {
+        if let Some(inner) = &mut self.weighted {
+            return inner.run_quantum(allotment, steps);
+        }
         let mut work = 0u64;
         let mut span = 0.0f64;
         let mut steps_left = if allotment == 0 { 0 } else { steps };
@@ -107,23 +154,38 @@ impl<J: Borrow<LeveledJob>> JobExecutor for LeveledExecutor<J> {
     }
 
     fn is_complete(&self) -> bool {
-        self.level >= self.job.borrow().widths().len()
+        match &self.weighted {
+            Some(inner) => inner.is_complete(),
+            None => self.level >= self.job.borrow().widths().len(),
+        }
     }
 
     fn total_work(&self) -> u64 {
-        self.job.borrow().work()
+        match &self.weighted {
+            Some(inner) => inner.total_work(),
+            None => self.job.borrow().work(),
+        }
     }
 
     fn total_span(&self) -> u64 {
-        self.job.borrow().span()
+        match &self.weighted {
+            Some(inner) => inner.total_span(),
+            None => self.job.borrow().span(),
+        }
     }
 
     fn completed_work(&self) -> u64 {
-        self.completed
+        match &self.weighted {
+            Some(inner) => inner.completed_work(),
+            None => self.completed,
+        }
     }
 
     fn elapsed_steps(&self) -> u64 {
-        self.elapsed
+        match &self.weighted {
+            Some(inner) => inner.elapsed_steps(),
+            None => self.elapsed,
+        }
     }
 
     fn try_reset(&mut self) -> bool {

@@ -50,7 +50,7 @@ pub trait ReadyQueue: Default {
 /// rewound, so the backing storage is reused when later pushes land on
 /// the same level (which only happens after a `clear`/reset on
 /// well-formed dags).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct BreadthFirstQueue {
     buckets: Vec<Vec<TaskId>>,
     /// Consumed prefix per bucket: `buckets[l][heads[l]..]` is pending.
@@ -229,7 +229,7 @@ impl ReadyQueue for BreadthFirstQueue {
 /// Plain-greedy order: FIFO over readiness time, ignoring levels ("any
 /// `a(q)` ready tasks"). This is the unaugmented greedy scheduler of
 /// Graham \[10\] used as a measurement baseline.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct FifoQueue {
     queue: VecDeque<TaskId>,
 }
@@ -255,7 +255,7 @@ impl ReadyQueue for FifoQueue {
 /// Depth-first order: LIFO over readiness time, so the scheduler chases
 /// the most recently enabled chain. The antithesis of B-Greedy; included
 /// for the scheduler-strategy ablation.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct LifoQueue {
     stack: Vec<TaskId>,
 }

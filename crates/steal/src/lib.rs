@@ -90,6 +90,9 @@ pub struct StealExecutor<D: Borrow<ExplicitDag>> {
     /// and matches ABP, where a steal costs the whole step.
     pending: Vec<Option<TaskId>>,
     completed: u64,
+    /// Processor-step units executed (weighted dags count partial
+    /// progress; equals `completed` on unit dags, where it is unused).
+    worked: u64,
     elapsed: u64,
     steal_cycles: u64,
     rng: StdRng,
@@ -98,6 +101,14 @@ pub struct StealExecutor<D: Borrow<ExplicitDag>> {
     seed: u64,
     /// Scratch: tasks executed this step (children enabled after).
     batch: Vec<(usize, TaskId)>,
+    /// Weighted dags only: the task each processor is currently
+    /// executing, with residual cost. A running task is pinned to its
+    /// processor (non-preemptive) and not stealable.
+    running: Vec<Option<(TaskId, u64)>>,
+    /// Weighted dags only: partially-executed tasks orphaned by an
+    /// allotment shrink; their residual work resumes on whichever
+    /// processor next runs dry.
+    paused: Vec<(TaskId, u64)>,
 }
 
 impl<D: Borrow<ExplicitDag>> StealExecutor<D> {
@@ -119,11 +130,14 @@ impl<D: Borrow<ExplicitDag>> StealExecutor<D> {
             deques: vec![first],
             pending: vec![None],
             completed: 0,
+            worked: 0,
             elapsed: 0,
             steal_cycles: 0,
             rng: StdRng::seed_from_u64(seed),
             seed,
             batch: Vec::new(),
+            running: vec![None],
+            paused: Vec::new(),
         }
     }
 
@@ -141,7 +155,11 @@ impl<D: Borrow<ExplicitDag>> StealExecutor<D> {
         }
         self.pending.clear();
         self.pending.push(None);
+        self.running.clear();
+        self.running.push(None);
+        self.paused.clear();
         self.completed = 0;
+        self.worked = 0;
         self.elapsed = 0;
         self.steal_cycles = 0;
         self.rng = StdRng::seed_from_u64(self.seed);
@@ -163,7 +181,13 @@ impl<D: Borrow<ExplicitDag>> StealExecutor<D> {
         if allotment > self.deques.len() {
             self.deques.resize_with(allotment, VecDeque::new);
             self.pending.resize(allotment, None);
+            self.running.resize(allotment, None);
         } else if allotment < self.deques.len() {
+            // Residual work of orphaned processors is paused, not lost:
+            // it resumes (with its remaining cost intact) on whichever
+            // surviving processor next runs dry.
+            self.paused
+                .extend(self.running.drain(allotment..).flatten());
             let orphans: Vec<TaskId> = self
                 .deques
                 .drain(allotment..)
@@ -222,10 +246,99 @@ impl<D: Borrow<ExplicitDag>> StealExecutor<D> {
         self.completed += done;
         done
     }
+
+    /// One synchronous weighted step: each processor advances its running
+    /// task by one unit, acquiring a new task (paused residual first, then
+    /// loot, then its own deque bottom, then a steal attempt) when idle.
+    /// Completions are processed after the whole round, exactly like the
+    /// unit step. Returns processor-step units executed.
+    fn step_weighted(&mut self, a: usize, span: &mut f64) -> u64 {
+        let wp = self
+            .dag
+            .borrow()
+            .weight_profile()
+            .expect("weighted step requires a weight table");
+        self.batch.clear();
+        let mut units = 0u64;
+        for p in 0..a {
+            let acquired = if let Some(slot) = self.running[p].take() {
+                Some(slot)
+            } else if let Some(slot) = self.paused.pop() {
+                Some(slot)
+            } else if let Some(t) = self.pending[p].take() {
+                Some((t, wp.cost(t)))
+            } else if let Some(t) = self.deques[p].pop_back() {
+                Some((t, wp.cost(t)))
+            } else {
+                if a > 1 {
+                    let victim = self.rng.random_range(0..a - 1);
+                    let victim = if victim >= p { victim + 1 } else { victim };
+                    self.pending[p] = self.deques[victim].pop_front();
+                }
+                self.steal_cycles += 1;
+                None
+            };
+            if let Some((t, rem)) = acquired {
+                units += 1;
+                if rem == 1 {
+                    self.batch.push((p, t));
+                } else {
+                    self.running[p] = Some((t, rem - 1));
+                }
+            }
+        }
+        self.worked += units;
+        let dag = self.dag.borrow();
+        for i in 0..self.batch.len() {
+            let (p, t) = self.batch[i];
+            let l = dag.level(t) as usize;
+            *span += wp.span_contribution(wp.cost(t), l);
+            for &s in dag.successors(t) {
+                let r = &mut self.remaining_preds[s.index()];
+                *r -= 1;
+                if *r == 0 {
+                    self.deques[p].push_back(s);
+                }
+            }
+        }
+        self.completed += self.batch.len() as u64;
+        units
+    }
+
+    /// The weighted quantum loop (same shape as the unit one; a step is
+    /// "worked" when at least one processor executed a work unit).
+    fn run_quantum_weighted(&mut self, allotment: u32, steps: u64) -> QuantumStats {
+        let mut work = 0u64;
+        let mut steps_worked = 0u64;
+        let mut span = 0.0f64;
+        self.resize(allotment as usize);
+        for _ in 0..steps {
+            if self.is_complete() {
+                break;
+            }
+            let units = self.step_weighted(allotment as usize, &mut span);
+            work += units;
+            if units > 0 {
+                steps_worked += 1;
+            }
+            self.elapsed += 1;
+        }
+        QuantumStats {
+            allotment,
+            quantum_len: steps,
+            steps_worked,
+            work,
+            span,
+            completed: self.is_complete(),
+        }
+    }
 }
 
 impl<D: Borrow<ExplicitDag>> JobExecutor for StealExecutor<D> {
     fn run_quantum(&mut self, allotment: u32, steps: u64) -> QuantumStats {
+        if allotment > 0 && !self.dag.borrow().is_unit_weight() {
+            return self.run_quantum_weighted(allotment, steps);
+        }
         let mut work = 0u64;
         let mut steps_worked = 0u64;
         let mut span = 0.0f64;
@@ -258,7 +371,7 @@ impl<D: Borrow<ExplicitDag>> JobExecutor for StealExecutor<D> {
     }
 
     fn is_complete(&self) -> bool {
-        self.completed == self.dag.borrow().work()
+        self.completed == self.dag.borrow().num_tasks() as u64
     }
 
     fn total_work(&self) -> u64 {
@@ -266,11 +379,15 @@ impl<D: Borrow<ExplicitDag>> JobExecutor for StealExecutor<D> {
     }
 
     fn total_span(&self) -> u64 {
-        self.dag.borrow().span()
+        self.dag.borrow().weighted_span()
     }
 
     fn completed_work(&self) -> u64 {
-        self.completed
+        if self.dag.borrow().is_unit_weight() {
+            self.completed
+        } else {
+            self.worked
+        }
     }
 
     fn elapsed_steps(&self) -> u64 {
@@ -420,6 +537,95 @@ mod tests {
         assert!(ex.try_reset());
         let second = trace(&mut ex);
         assert_eq!(first, second, "reset must replay the exact steal stream");
+    }
+
+    fn weighted_bundle(chains: u32, len: u32, cost: f64) -> ExplicitDag {
+        chain_bundle(chains, len)
+            .with_uniform_weight(cost)
+            .expect("valid weight")
+    }
+
+    #[test]
+    fn weighted_chain_serialises_costs() {
+        use abg_dag::DagBuilder;
+        // t0(2) -> t1(3) -> t2(1): 6 units, no parallelism to exploit.
+        let mut b = DagBuilder::new();
+        let t0 = b.add_weighted_task(2.0).unwrap();
+        let t1 = b.add_weighted_task(3.0).unwrap();
+        let t2 = b.add_task();
+        b.add_edge(t0, t1).unwrap();
+        b.add_edge(t1, t2).unwrap();
+        let d = b.build().unwrap();
+        let mut ex = StealExecutor::new(&d, 1);
+        while !ex.is_complete() {
+            ex.run_quantum(4, 8);
+        }
+        assert_eq!(ex.completed_work(), 6, "units, not tasks");
+        assert_eq!(ex.total_work(), 6);
+        assert_eq!(ex.total_span(), 6);
+        assert_eq!(ex.elapsed_steps(), 6, "a chain admits no parallelism");
+    }
+
+    #[test]
+    fn weighted_quantum_span_accumulates_to_weighted_span() {
+        let d = weighted_bundle(6, 10, 3.0);
+        let mut ex = StealExecutor::new(&d, 9);
+        let mut span = 0.0;
+        while !ex.is_complete() {
+            span += ex.run_quantum(4, 10).span;
+        }
+        assert_eq!(ex.total_span(), 30);
+        assert!((span - 30.0).abs() < 1e-9, "span = {span}");
+        assert_eq!(ex.completed_work(), d.work());
+    }
+
+    #[test]
+    fn weighted_shrink_pauses_residual_work() {
+        let d = weighted_bundle(8, 6, 5.0);
+        let mut ex = StealExecutor::new(&d, 3);
+        ex.run_quantum(8, 2); // 8 tasks mid-flight, each with residual
+        let before = ex.completed_work();
+        while !ex.is_complete() {
+            ex.run_quantum(2, 10); // shrink: 6 residuals go to `paused`
+        }
+        assert!(ex.completed_work() > before);
+        assert_eq!(ex.completed_work(), d.work(), "no residual unit lost");
+    }
+
+    #[test]
+    fn weighted_reset_replays_the_identical_run() {
+        let d = weighted_bundle(8, 10, 2.0);
+        let trace = |ex: &mut StealExecutor<&ExplicitDag>| {
+            let mut t = Vec::new();
+            while !ex.is_complete() {
+                let s = ex.run_quantum(5, 8);
+                t.push((s.work, s.span.to_bits()));
+            }
+            (t, ex.steal_cycles())
+        };
+        let mut ex = StealExecutor::new(&d, 42);
+        let first = trace(&mut ex);
+        assert!(ex.try_reset());
+        assert_eq!(first, trace(&mut ex), "reset must replay the run");
+    }
+
+    #[test]
+    fn unit_weight_table_routes_the_unit_path() {
+        let d = chain_bundle(8, 40);
+        let tabled = chain_bundle(8, 40)
+            .with_uniform_weight(1.0)
+            .expect("unit weight is valid");
+        assert!(tabled.is_unit_weight());
+        let run = |dag: &ExplicitDag| {
+            let mut ex = StealExecutor::new(dag, 42);
+            let mut t = Vec::new();
+            while !ex.is_complete() {
+                let s = ex.run_quantum(5, 8);
+                t.push((s.work, s.span.to_bits()));
+            }
+            (t, ex.steal_cycles())
+        };
+        assert_eq!(run(&d), run(&tabled), "all-unit table must be a no-op");
     }
 
     #[test]

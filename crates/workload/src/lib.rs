@@ -40,15 +40,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dagfile;
 pub mod jobset;
 pub mod profiles;
 pub mod release;
+pub mod workflow;
 
+pub use dagfile::{load_dag, parse_dag, save_dag, write_dag, DagFileError};
 pub use jobset::{JobSet, JobSetSpec};
 pub use release::{
-    expected_work, mean_gap_for_utilization, splitmix_seed, ArrivalProcess, ArrivalStream,
-    ArrivalSubstream, ReleaseSchedule,
+    expected_work, expected_work_of, mean_gap_for_utilization, splitmix_seed, ArrivalProcess,
+    ArrivalStream, ArrivalSubstream, ReleaseSchedule,
 };
+pub use workflow::WorkflowKind;
 
 use abg_dag::{ForkJoinSpec, PhasedJob};
 use rand::{Rng, RngExt as _};

@@ -290,11 +290,31 @@ where
     R: Rng + ?Sized,
     F: FnMut(&mut R) -> abg_dag::PhasedJob,
 {
+    expected_work_of(samples, rng, |rng| generate(rng).work() as f64)
+}
+
+/// Monte-Carlo estimate of the expected work `E[T1]` of an *arbitrary*
+/// job population: `work_of` maps one draw of the generator state to
+/// that job's total work in processor-steps.
+///
+/// This is the weighted-job generalisation of [`expected_work`] (which
+/// delegates here, with an identical summation order, so unit-job
+/// estimates are numerically unchanged): workflow populations whose
+/// tasks carry non-unit weights report `ExplicitDag::work()` — the sum
+/// of integer task costs — and ρ targeting via
+/// [`mean_gap_for_utilization`] stays correct without caring what kind
+/// of job the stream releases.
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+pub fn expected_work_of<R, F>(samples: u32, rng: &mut R, mut work_of: F) -> f64
+where
+    R: Rng + ?Sized,
+    F: FnMut(&mut R) -> f64,
+{
     assert!(samples > 0, "need at least one sample to estimate work");
-    (0..samples)
-        .map(|_| generate(rng).work() as f64)
-        .sum::<f64>()
-        / samples as f64
+    (0..samples).map(|_| work_of(rng)).sum::<f64>() / samples as f64
 }
 
 /// Solves the mean inter-arrival gap (steps) that offers utilization
@@ -540,6 +560,36 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let w = expected_work(16, &mut rng, |_| PhasedJob::new(vec![Phase::new(2, 10)]));
         assert_eq!(w, 20.0, "constant jobs estimate exactly");
+    }
+
+    #[test]
+    fn expected_work_of_generalises_bit_identically() {
+        // The unit-job wrapper must delegate with an unchanged
+        // summation, so the two estimates agree to the last bit even on
+        // a population whose per-sample work varies.
+        use abg_dag::{Phase, PhasedJob};
+        let sample = |rng: &mut StdRng| {
+            let levels = rng.random_range(3..20u64);
+            PhasedJob::new(vec![Phase::new(4, levels)])
+        };
+        let mut a = StdRng::seed_from_u64(13);
+        let mut b = StdRng::seed_from_u64(13);
+        let via_jobs = expected_work(32, &mut a, sample);
+        let via_work = expected_work_of(32, &mut b, |rng| sample(rng).work() as f64);
+        assert_eq!(via_jobs.to_bits(), via_work.to_bits());
+    }
+
+    #[test]
+    fn expected_work_of_handles_weighted_dags() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let w = expected_work_of(8, &mut rng, |rng| {
+            let cost = rng.random_range(2..=4u64);
+            let dag = abg_dag::generate::chain(10)
+                .with_uniform_weight(cost as f64)
+                .expect("valid weight");
+            dag.work() as f64
+        });
+        assert!((20.0..=40.0).contains(&w), "weighted estimate {w}");
     }
 
     #[test]

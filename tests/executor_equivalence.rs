@@ -202,6 +202,87 @@ proptest! {
         prop_assert_eq!(&first, &fresh, "reset diverged from fresh construction");
     }
 
+    /// The weighted residual-work kernel is bit-identical to the
+    /// weighted reference rescan on random layered dags under random
+    /// half-integer weight tables, allotment/quantum-length schedules
+    /// and every queue discipline. The weight tables always contain at
+    /// least one non-unit entry, so both executors take their weighted
+    /// paths (the unit shortcut is pinned separately below).
+    #[test]
+    fn weighted_kernel_bit_identical_to_reference(
+        seed in 0u64..500,
+        wseed in 0u64..500,
+        sched in prop::collection::vec((0u32..=12, 1u64..=16), 1..40),
+    ) {
+        use rand::{RngExt as _, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let base = generate::random_layered(&mut rng, 6, 1..=5, 0.3);
+        let mut wrng = rand::rngs::StdRng::seed_from_u64(wseed);
+        let mut weights: Vec<f64> = (0..base.num_tasks())
+            .map(|_| wrng.random_range(1..=8u64) as f64 * 0.5)
+            .collect();
+        weights[0] = 2.5; // force a non-unit table
+        let dag = base.with_weights(weights).expect("finite positive weights");
+        prop_assert!(!dag.is_unit_weight());
+        lockstep::<BreadthFirstQueue>(&dag, &sched);
+        lockstep::<FifoQueue>(&dag, &sched);
+        lockstep::<LifoQueue>(&dag, &sched);
+    }
+
+    /// An all-unit weight table is observationally identical to having
+    /// no table at all: the build detects it, routes the unit fast
+    /// path, and every per-quantum statistic matches bit for bit.
+    #[test]
+    fn unit_weight_table_matches_no_table_bit_for_bit(
+        seed in 0u64..300,
+        sched in prop::collection::vec((0u32..=12, 1u64..=16), 1..30),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let bare = generate::random_layered(&mut rng, 6, 1..=5, 0.3);
+        let tabled = bare.clone().with_uniform_weight(1.0).expect("unit weights");
+        prop_assert!(tabled.is_unit_weight());
+        let mut plain = BGreedyExecutor::new(&bare);
+        let mut unit: DagExecutor<&ExplicitDag, BreadthFirstQueue> = DagExecutor::new(&tabled);
+        let first = trace(&mut plain, &sched);
+        let second = trace(&mut unit, &sched);
+        prop_assert_eq!(first, second, "unit table diverged from no table");
+    }
+
+    /// Driven to completion, the weighted kernels agree on the totals:
+    /// completed work is the sum of integer task costs and the
+    /// accumulated fractional span reproduces the weighted span exactly.
+    #[test]
+    fn weighted_kernel_completes_like_reference(
+        seed in 0u64..200, wseed in 0u64..200, a in 1u32..10, l in 1u64..20,
+    ) {
+        use rand::{RngExt as _, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let base = generate::random_layered(&mut rng, 5, 1..=6, 0.4);
+        let mut wrng = rand::rngs::StdRng::seed_from_u64(wseed);
+        let mut weights: Vec<f64> = (0..base.num_tasks())
+            .map(|_| wrng.random_range(1..=7u64) as f64 * 0.5)
+            .collect();
+        weights[0] = 1.5;
+        let dag = base.with_weights(weights).expect("finite positive weights");
+        let mut fast = BGreedyExecutor::new(&dag);
+        let mut slow: ReferenceExecutor<&ExplicitDag, BreadthFirstQueue> =
+            ReferenceExecutor::new(&dag);
+        let mut fast_span = 0.0f64;
+        let mut slow_span = 0.0f64;
+        while !fast.is_complete() {
+            fast_span += fast.run_quantum(a, l).span;
+            slow_span += slow.run_quantum(a, l).span;
+        }
+        prop_assert!(slow.is_complete());
+        prop_assert_eq!(fast.elapsed_steps(), slow.elapsed_steps());
+        prop_assert_eq!(fast.completed_work(), dag.work());
+        prop_assert_eq!(fast_span.to_bits(), slow_span.to_bits(),
+            "accumulated span {} vs {}", fast_span, slow_span);
+        prop_assert!((fast_span - dag.weighted_span() as f64).abs() < 1e-9,
+            "span sum {} vs weighted span {}", fast_span, dag.weighted_span());
+    }
+
     /// Driven to completion with generous quanta, both kernels agree on
     /// the totals and on completing at all.
     #[test]
